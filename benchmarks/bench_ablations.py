@@ -1,0 +1,197 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Each ablation runs a small controlled comparison and prints a table; the
+assertions pin the qualitative direction so regressions in the engine
+show up as failures, not just different numbers.
+"""
+
+import numpy as np
+
+from repro.experiments.fig3 import fig3_spec
+from repro.metrics.tables import format_table
+from repro.scheduling import FirstPrice, FirstReward, PresentValue
+from repro.site import SlackAdmission, simulate_site
+from repro.workload import economy_spec, generate_trace, millennium_spec
+
+
+def _yield(trace, heuristic, processors, **kw):
+    return simulate_site(
+        trace, heuristic, processors, keep_records=False, **kw
+    ).total_yield
+
+
+def bench_ablation_preemption(benchmark):
+    """Preemption on/off for the Figure 3 mix: preemption lets urgent
+    high-value arrivals displace committed work and should never lose
+    much."""
+    spec = fig3_spec(value_skew=4.0, n_jobs=1200)
+    trace = generate_trace(spec, seed=0)
+
+    def work():
+        rows = []
+        for preempt in (False, True):
+            y = _yield(trace, FirstPrice(), spec.processors, preemption=preempt)
+            rows.append({"preemption": preempt, "firstprice_yield": y})
+        return rows
+
+    rows = benchmark.pedantic(work, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title="ablation: preemption (fig3 mix)"))
+    on = rows[1]["firstprice_yield"]
+    off = rows[0]["firstprice_yield"]
+    assert on > 0.9 * off  # preemption must not collapse yield
+
+
+def bench_ablation_discard_expired(benchmark):
+    """Discarding expired bounded tasks frees capacity: with penalties
+    bounded at zero, discarding can only help FirstPrice under overload."""
+    spec = economy_spec(n_jobs=1200, load_factor=2.0, penalty_bound=0.0)
+    trace = generate_trace(spec, seed=0)
+
+    def work():
+        rows = []
+        for discard in (False, True):
+            y = _yield(trace, FirstPrice(), spec.processors, discard_expired=discard)
+            rows.append({"discard_expired": discard, "firstprice_yield": y})
+        return rows
+
+    rows = benchmark.pedantic(work, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title="ablation: expired-task discard (bounded overload)"))
+    assert rows[1]["firstprice_yield"] >= rows[0]["firstprice_yield"] - 1e-6
+
+
+def bench_ablation_burst_sessions(benchmark):
+    """Fig 3's burst sessions vs the nominal 16-job batches: the PV
+    advantage requires same-class queueing depth (see DESIGN.md)."""
+    rows = []
+
+    def work():
+        for batch in (16, 256):
+            spec = millennium_spec(
+                n_jobs=1500, value_skew=4.0, duration_cv=0.5,
+                decay_horizon=2.0, batch_size=batch,
+            )
+            trace = generate_trace(spec, seed=0)
+            fp = _yield(trace, FirstPrice(), spec.processors, preemption=True)
+            pv = _yield(trace, PresentValue(0.01), spec.processors, preemption=True)
+            rows.append(
+                {
+                    "batch_size": batch,
+                    "pv_improvement_pct": 100.0 * (pv - fp) / abs(fp),
+                }
+            )
+        return rows
+
+    benchmark.pedantic(work, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title="ablation: arrival burst size vs PV advantage"))
+    assert rows[1]["pv_improvement_pct"] > rows[0]["pv_improvement_pct"]
+
+
+def bench_ablation_discount_alpha_grid(benchmark):
+    """Interaction of the two FirstReward knobs on the unbounded mix."""
+    spec = economy_spec(n_jobs=1200, load_factor=0.9, value_skew=2.0, decay_skew=5.0)
+    trace = generate_trace(spec, seed=0)
+
+    def work():
+        rows = []
+        for alpha in (0.0, 0.5, 1.0):
+            for rate in (0.0, 0.01, 0.1):
+                y = _yield(trace, FirstReward(alpha, rate), spec.processors)
+                rows.append({"alpha": alpha, "discount_rate": rate, "yield": y})
+        return rows
+
+    rows = benchmark.pedantic(work, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title="ablation: alpha x discount-rate grid (unbounded)"))
+    by = {(r["alpha"], r["discount_rate"]): r["yield"] for r in rows}
+    # cost-awareness dominates on this mix regardless of discounting
+    assert by[(0.0, 0.01)] > by[(1.0, 0.0)]
+
+
+def bench_ablation_penalty_bound_sweep(benchmark):
+    """How the penalty bound changes what the site earns and loses."""
+    rows = []
+
+    def work():
+        for bound in (0.0, 50.0, 200.0, None):
+            spec = economy_spec(n_jobs=1200, load_factor=1.5, penalty_bound=bound)
+            trace = generate_trace(spec, seed=0)
+            y = _yield(trace, FirstPrice(), spec.processors)
+            rows.append(
+                {
+                    "penalty_bound": "unbounded" if bound is None else bound,
+                    "firstprice_yield": y,
+                }
+            )
+        return rows
+
+    benchmark.pedantic(work, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title="ablation: penalty bound magnitude (load 1.5)"))
+    # tighter bounds can only protect the site: yield decreases as the
+    # bound loosens toward unbounded
+    yields = [r["firstprice_yield"] for r in rows]
+    assert yields[0] >= yields[-1]
+
+
+def bench_ablation_runtime_misestimation(benchmark):
+    """The §4 extension: how much does estimate noise cost?
+
+    Same true workload (identical RNG streams), increasingly noisy
+    declared estimates; the value function charges overruns against the
+    declaration, so yield must degrade as noise grows.
+    """
+    from dataclasses import replace
+
+    base = economy_spec(n_jobs=1200, load_factor=1.2, penalty_bound=0.0)
+    rows = []
+
+    def work():
+        for cv in (0.0, 0.3, 0.8, 1.5):
+            spec = replace(base, estimate_error_cv=cv)
+            trace = generate_trace(spec, seed=0)
+            y = _yield(trace, FirstPrice(), spec.processors)
+            rows.append({"estimate_error_cv": cv, "firstprice_yield": y})
+        return rows
+
+    benchmark.pedantic(work, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title="ablation: runtime misestimation (bounded, load 1.2)"))
+    yields = [r["firstprice_yield"] for r in rows]
+    assert yields[0] > yields[-1]  # heavy noise must cost yield
+
+
+def bench_ablation_admission_discount(benchmark):
+    """Slack admission with/without PV discounting of expected gains."""
+    spec = economy_spec(n_jobs=1200, load_factor=3.0)
+    trace = generate_trace(spec, seed=0)
+
+    def work():
+        rows = []
+        for rate in (0.0, 0.01, 0.1):
+            res = simulate_site(
+                trace,
+                FirstReward(0.0, 0.01),
+                spec.processors,
+                keep_records=False,
+                admission=SlackAdmission(180.0, rate),
+            )
+            rows.append(
+                {
+                    "admission_discount": rate,
+                    "yield_rate": res.yield_rate,
+                    "rejected": res.ledger.rejected,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(work, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title="ablation: admission-control discount rate (load 3)"))
+    # discounting lowers PV and hence slack; heavy discounting must reject
+    # more than no discounting (closed-loop feedback makes the middle
+    # point non-monotone, so only the endpoints are asserted)
+    rejections = [r["rejected"] for r in rows]
+    assert rejections[-1] > rejections[0]

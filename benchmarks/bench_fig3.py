@@ -1,0 +1,14 @@
+"""Benchmark + regeneration of Figure 3 (PV vs FirstPrice).
+
+Run with ``pytest benchmarks/bench_fig3.py --benchmark-only -s`` to see
+the regenerated series.  Full paper scale: ``repro fig3 --full``.
+"""
+
+from benchmarks.conftest import run_figure_benchmark
+
+
+def bench_fig3(benchmark):
+    result = run_figure_benchmark(benchmark, "fig3")
+    # headline claim: PV improves on FirstPrice at moderate discount rates
+    best = max(result.column("improvement_pct"))
+    assert best > 0.5

@@ -1,0 +1,9 @@
+"""Benchmark + regeneration of Figure 4 (α sweep, bounded penalties)."""
+
+from benchmarks.conftest import run_figure_benchmark
+
+
+def bench_fig4(benchmark):
+    result = run_figure_benchmark(benchmark, "fig4")
+    # bounded-penalty improvements are modest (paper: single-digit %)
+    assert all(abs(x) < 20.0 for x in result.column("improvement_pct"))

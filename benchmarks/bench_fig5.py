@@ -1,0 +1,11 @@
+"""Benchmark + regeneration of Figure 5 (α sweep, unbounded penalties)."""
+
+from benchmarks.conftest import run_figure_benchmark
+
+
+def bench_fig5(benchmark):
+    result = run_figure_benchmark(benchmark, "fig5")
+    # headline claim: with unbounded penalties cost-only (alpha=0) wins big
+    series = result.series("alpha", "improvement_pct", "decay_skew")
+    for points in series.values():
+        assert points[0][1] > 5.0  # alpha = 0 improvement

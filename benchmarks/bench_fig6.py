@@ -1,0 +1,11 @@
+"""Benchmark + regeneration of Figure 6 (admission control vs load)."""
+
+from benchmarks.conftest import run_figure_benchmark
+
+
+def bench_fig6(benchmark):
+    result = run_figure_benchmark(benchmark, "fig6")
+    series = result.series("load_factor", "yield_rate", "policy")
+    # admission control sustains the yield rate under heavy load
+    assert series["alpha=0"][-1][1] > 0
+    assert series["firstprice-noac"][-1][1] < 0

@@ -1,0 +1,12 @@
+"""Benchmark + regeneration of Figure 7 (slack-threshold sweep)."""
+
+from benchmarks.conftest import run_figure_benchmark
+
+
+def bench_fig7(benchmark):
+    result = run_figure_benchmark(benchmark, "fig7")
+    series = result.series("threshold", "improvement_pct", "load_factor")
+    loads = sorted(series)
+    # the ideal threshold moves right as load grows
+    peak = lambda load: max(series[load], key=lambda p: p[1])[0]
+    assert peak(loads[-1]) >= peak(loads[0])

@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark suite.
+
+Each figure benchmark runs its experiment exactly once (``pedantic``
+with one round — a full simulation sweep is the unit of work), prints
+the regenerated paper table, and asserts the robust expected-shape
+checks from DESIGN.md §3.  Timings land in pytest-benchmark's report;
+the printed tables are the reproduction artifact.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import FigureResult
+from repro.experiments.runner import run_experiment, shape_report
+
+
+def run_figure_benchmark(benchmark, name: str, **overrides) -> FigureResult:
+    """Run one registered figure experiment under the benchmark timer."""
+    result = benchmark.pedantic(
+        lambda: run_experiment(name, scale="quick", **overrides),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.table())
+    print("shape checks:")
+    failures = []
+    for check in shape_report(result):
+        print(f"  {check}")
+        if check.robust and not check.passed:
+            failures.append(check)
+    assert not failures, f"robust shape checks failed: {[c.name for c in failures]}"
+    return result

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Extending the value model: piecewise-linear (variable-rate) functions.
+
+§3 of the paper: "The framework can generalize to value functions that
+decay at variable rates, but these complicate the problem significantly."
+This example exercises that extension:
+
+1. builds a grace-period value function (full value for a while, then a
+   steep drop toward a bounded penalty),
+2. compares it against the linear model on the same delays, and
+3. schedules a small queue with a *generic* greedy scheduler written
+   directly against the ValueFunction interface — demonstrating how the
+   library's abstractions compose outside the vectorized engine.
+
+Run:  python examples/custom_value_functions.py
+"""
+
+from __future__ import annotations
+
+from repro import LinearDecayValueFunction, PiecewiseLinearValueFunction, Simulator, Task
+from repro.metrics.tables import format_table
+from repro.sim import Process, Resource, Timeout
+
+
+def show_value_functions() -> None:
+    linear = LinearDecayValueFunction(value=100.0, decay=2.0, penalty_bound=20.0)
+    graceful = PiecewiseLinearValueFunction(
+        [(0, 100), (20, 100), (40, 0), (60, -20)]  # 20-unit grace period
+    )
+    rows = []
+    for delay in (0.0, 10.0, 20.0, 30.0, 40.0, 60.0, 100.0):
+        rows.append(
+            {
+                "delay": delay,
+                "linear_yield": linear.yield_at(delay),
+                "graceful_yield": graceful.yield_at(delay),
+                "graceful_decay_rate": graceful.decay_at(delay),
+            }
+        )
+    print(format_table(rows, title="linear vs grace-period value functions"))
+    print(f"graceful expires at delay {graceful.expiration_delay:g} "
+          f"(floor {graceful.floor:g})\n")
+
+
+def generic_greedy_schedule() -> None:
+    """Greedy unit-gain scheduling for arbitrary value functions.
+
+    The vectorized site engine requires linear functions; here we write
+    the same FirstPrice rule against the generic interface, running the
+    queue on the simulation kernel's Resource primitive.
+    """
+    sim = Simulator()
+    cpu = Resource(sim, capacity=1)
+
+    # four jobs, all released at t=0, mixing linear and piecewise values
+    jobs = [
+        ("etl", 30.0, LinearDecayValueFunction(90.0, 1.5, penalty_bound=0.0)),
+        ("report", 10.0, PiecewiseLinearValueFunction([(0, 80), (5, 80), (25, 0)])),
+        ("backfill", 50.0, LinearDecayValueFunction(60.0, 0.2, penalty_bound=0.0)),
+        ("alert", 5.0, PiecewiseLinearValueFunction([(0, 40), (10, -10), (30, -10)])),
+    ]
+    pending = list(jobs)
+    log = []
+
+    def unit_gain(job) -> float:
+        name, runtime, vf = job
+        return vf.yield_at(sim.now) / runtime  # delay == waiting time here
+
+    def scheduler():
+        while pending:
+            yield cpu.request()
+            pending.sort(key=unit_gain, reverse=True)
+            name, runtime, vf = pending.pop(0)
+            started = sim.now
+            yield Timeout(runtime)
+            earned = vf.yield_at(started)  # value locked in at start+runtime
+            log.append({"job": name, "started": started, "earned": earned})
+            cpu.release()
+
+    Process(sim, scheduler())
+    sim.run()
+    print(format_table(log, title="generic greedy schedule (mixed value models)"))
+    total = sum(r["earned"] for r in log)
+    print(f"total earned: {total:.1f}")
+
+
+def main() -> None:
+    show_value_functions()
+    generic_greedy_schedule()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""The reseller: a task service that leases its nodes from a resource market.
+
+§7 of the paper: "the task service may act as a reseller of resources
+acquired from a shared resource pool ... [using] its internal measures
+of per-unit gain and risk as a basis for its own pricing and bidding
+strategy in a resource market."
+
+This example runs the same bursty day of work through (a) static sites
+of several fixed fleet sizes paying rent on every node, and (b) an
+elastic site that leases nodes only while the queued work's unit gain
+beats the rent — and shows the profit difference.
+
+Run:  python examples/elastic_reseller.py [--n-jobs 400]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import FirstPrice, Simulator
+from repro.metrics.tables import format_table
+from repro.resource import ElasticSite, ProvisioningPolicy, ResourceProvider
+from repro.site import simulate_site
+from repro.workload import economy_spec, generate_trace
+
+NODE_RENT = 0.08  # currency per node per time unit
+REVIEW = 25.0
+
+
+def static_profit(trace, fleet: int) -> dict:
+    """A fixed fleet pays rent for every node across the whole run."""
+    result = simulate_site(trace, FirstPrice(), processors=fleet, keep_records=False)
+    rent = fleet * NODE_RENT * result.sim.now
+    return {
+        "strategy": f"static x{fleet}",
+        "yield": result.total_yield,
+        "rent": rent,
+        "profit": result.total_yield - rent,
+        "peak_fleet": fleet,
+    }
+
+
+def elastic_profit(trace, min_nodes: int, capacity: int) -> dict:
+    sim = Simulator()
+    provider = ResourceProvider(sim, capacity=capacity, unit_price=NODE_RENT)
+    site = ElasticSite(
+        sim,
+        provider,
+        FirstPrice(),
+        policy=ProvisioningPolicy(min_nodes=min_nodes, review_interval=REVIEW),
+    )
+    peak = site.fleet_size
+    tasks = trace.to_tasks()
+
+    def submit_tracking(task):
+        nonlocal peak
+        site.submit(task)
+        peak = max(peak, site.fleet_size)
+
+    for task in tasks:
+        sim.schedule_at(task.arrival, submit_tracking, task)
+    sim.run()
+    site.settle()
+    summary = site.summary()
+    return {
+        "strategy": f"elastic (min {min_nodes})",
+        "yield": summary["total_yield"],
+        "rent": summary["rent_paid"],
+        "profit": summary["profit"],
+        "peak_fleet": max(peak, summary["fleet_size"]),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n-jobs", type=int, default=400)
+    args = parser.parse_args()
+
+    # a bursty stream sized for ~8 nodes on average but peaking well above
+    spec = economy_spec(
+        n_jobs=args.n_jobs, load_factor=1.6, processors=8, penalty_bound=0.0
+    )
+    trace = generate_trace(spec, seed=13)
+    print(f"workload: {spec.describe()}")
+    print(f"node rent: {NODE_RENT}/node/time\n")
+
+    rows = [static_profit(trace, fleet) for fleet in (4, 8, 16, 32)]
+    rows.append(elastic_profit(trace, min_nodes=2, capacity=32))
+    rows.sort(key=lambda r: -r["profit"])
+    print(format_table(rows, title="rent-aware profit by provisioning strategy"))
+    print(
+        "\nthe elastic reseller tracks the burst: it rents capacity when "
+        "queued work out-earns the rent and hands it back when idle — "
+        "beating every fixed fleet on profit."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Append ASCII plots to existing results/<fig>.txt from their JSON rows.
+
+`run_full_experiments.py` embeds plots on fresh runs; this backfills
+plots for result files produced before that (or after manual edits)
+without re-running the simulations.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+from repro.analysis import render_curves
+from repro.cli import PLOT_SPECS
+from repro.experiments.common import FigureResult
+
+RESULTS = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def main() -> int:
+    names = sys.argv[1:] or sorted(PLOT_SPECS)
+    for name in names:
+        json_path = RESULTS / f"{name}.json"
+        txt_path = RESULTS / f"{name}.txt"
+        if not json_path.exists() or not txt_path.exists():
+            print(f"{name}: missing results files, skipped")
+            continue
+        payload = json.loads(json_path.read_text())
+        result = FigureResult(figure=name, title="", rows=payload["rows"])
+        x, y, line, log_x = PLOT_SPECS[name]
+        plot = render_curves(
+            result.series(x, y, line), title=f"[{y} vs {x}]", log_x=log_x
+        )
+        text = txt_path.read_text()
+        if "[" + y + " vs " + x + "]" in text:
+            print(f"{name}: plot already present, skipped")
+            continue
+        txt_path.write_text(text + "\n" + plot + "\n")
+        print(f"{name}: plot appended")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+This environment is offline and its setuptools predates the bundled
+``bdist_wheel`` command, so PEP 660 editable installs fail without the
+``wheel`` package.  This shim lets ``pip install -e . --no-use-pep517``
+(and plain ``pip install -e .`` on modern toolchains) work either way.
+All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,23 @@
+"""Post-hoc analysis of site runs: timelines, gantt charts, reports.
+
+The site engine exposes observer hooks (start/preempt/finish); a
+:class:`SiteTimeline` subscribes to them and records every execution
+segment, queue-length change, and outcome.  On top of that:
+
+* :mod:`repro.analysis.gantt` renders per-node ASCII gantt charts,
+* :mod:`repro.analysis.report` summarizes a run (delay distributions,
+  per-class earnings, utilization/queue time series).
+"""
+
+from repro.analysis.curves import render_curves
+from repro.analysis.gantt import render_gantt
+from repro.analysis.report import run_report
+from repro.analysis.timeline import ExecutionSegment, SiteTimeline
+
+__all__ = [
+    "ExecutionSegment",
+    "SiteTimeline",
+    "render_curves",
+    "render_gantt",
+    "run_report",
+]

@@ -1,0 +1,92 @@
+"""ASCII line plots for figure results.
+
+The repository has no plotting dependency by design; these text plots
+give the CLI a visual for each regenerated figure — good enough to see
+peaks, crossovers, and orderings, which is exactly what the shape
+criteria are about.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Optional, Sequence
+
+_GLYPHS = "ox+*#%@&$~"
+
+Point = tuple[float, float]
+
+
+def _scale(values: Sequence[float], size: int, log: bool = False) -> list[int]:
+    vals = [math.log10(v) for v in values] if log else list(values)
+    lo, hi = min(vals), max(vals)
+    if hi <= lo:
+        return [0 for _ in vals]
+    return [
+        min(size - 1, int(round((v - lo) / (hi - lo) * (size - 1)))) for v in vals
+    ]
+
+
+def render_curves(
+    series: Mapping[object, Sequence[Point]],
+    width: int = 64,
+    height: int = 16,
+    title: Optional[str] = None,
+    log_x: bool = False,
+) -> str:
+    """Render ``{line_label: [(x, y), ...]}`` as an ASCII plot.
+
+    Each line gets a glyph; cells where lines collide show ``*``-free
+    precedence (first line drawn wins — the legend disambiguates).  A
+    horizontal rule marks y = 0 when the data spans it.
+    """
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        return f"{title}\n(no data)" if title else "(no data)"
+    if log_x and any(x <= 0 for x, _ in points):
+        raise ValueError("log_x requires strictly positive x values")
+
+    xs = sorted({x for x, _ in points})
+    ys = [y for _, y in points]
+    y_lo, y_hi = min(ys), max(ys)
+    x_cols = dict(zip(xs, _scale(xs, width, log=log_x)))
+
+    grid = [[" "] * width for _ in range(height)]
+
+    # zero line
+    if y_lo < 0 < y_hi:
+        zero_row = height - 1 - _scale([y_lo, 0.0, y_hi], height)[1]
+        for c in range(width):
+            grid[zero_row][c] = "-"
+
+    legend = []
+    for idx, (label, pts) in enumerate(series.items()):
+        glyph = _GLYPHS[idx % len(_GLYPHS)]
+        legend.append(f"{glyph}={label}")
+        sorted_pts = sorted(pts)
+        rows = [
+            height - 1 - r
+            for r in _scale([y_lo] + [y for _, y in sorted_pts] + [y_hi], height)[1:-1]
+        ]
+        cols = [x_cols[x] for x, _ in sorted_pts]
+        # connect consecutive points with vertical fill for readability
+        for (c0, r0), (c1, r1) in zip(zip(cols, rows), list(zip(cols, rows))[1:]):
+            for c in range(c0, c1 + 1):
+                if c1 != c0:
+                    frac = (c - c0) / (c1 - c0)
+                else:
+                    frac = 0.0
+                r = int(round(r0 + frac * (r1 - r0)))
+                if grid[r][c] in (" ", "-"):
+                    grid[r][c] = glyph
+        for c, r in zip(cols, rows):  # actual data points always visible
+            grid[r][c] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"y: {y_lo:g} .. {y_hi:g}")
+    lines.extend("|" + "".join(row) + "|" for row in grid)
+    x_label = "x(log10)" if log_x else "x"
+    lines.append(f"{x_label}: {xs[0]:g} .. {xs[-1]:g}")
+    lines.append("legend: " + "  ".join(legend))
+    return "\n".join(lines)

@@ -1,0 +1,194 @@
+"""Command-line interface: regenerate any paper figure as a table.
+
+Usage::
+
+    repro list
+    repro fig5                     # quick scale
+    repro fig5 --full              # paper scale (5000 jobs, multi-seed)
+    repro fig3 --n-jobs 2000 --seeds 0 1
+    repro all --check              # every figure + shape-check report
+    repro trace --n-jobs 20        # inspect a generated workload
+
+(Installed as ``repro``; also runnable as ``python -m repro``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional, Sequence
+
+from repro.experiments.runner import EXPERIMENTS, run_experiment, shape_report
+
+#: (x, y, line, log_x) axes for `--plot`, matching the paper's figures.
+PLOT_SPECS = {
+    "fig3": ("discount_pct", "improvement_pct", "value_skew", True),
+    "fig4": ("alpha", "improvement_pct", "decay_skew", False),
+    "fig5": ("alpha", "improvement_pct", "decay_skew", False),
+    "fig6": ("load_factor", "yield_rate", "policy", False),
+    "fig7": ("threshold", "improvement_pct", "load_factor", False),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce 'Balancing Risk and Reward in a Market-Based Task "
+            "Service' (HPDC 2004): regenerate each evaluation figure."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    for name in [*EXPERIMENTS, "all"]:
+        desc = (
+            "run every figure"
+            if name == "all"
+            else EXPERIMENTS[name].description
+        )
+        p = sub.add_parser(name, help=desc)
+        p.add_argument("--full", action="store_true", help="paper scale (slow)")
+        p.add_argument("--n-jobs", type=int, default=None, help="override job count")
+        p.add_argument(
+            "--seeds", type=int, nargs="+", default=None, help="override seed list"
+        )
+        p.add_argument(
+            "--check", action="store_true", help="print the expected-shape report"
+        )
+        p.add_argument(
+            "--reps",
+            type=int,
+            default=None,
+            help="run N disjoint-seed replications and report mean ± 95%% CI "
+            "(mutually exclusive with --seeds/--check)",
+        )
+        p.add_argument(
+            "--plot", action="store_true", help="render the figure as an ASCII plot"
+        )
+
+    t = sub.add_parser("trace", help="generate and print a sample workload trace")
+    t.add_argument("--n-jobs", type=int, default=20)
+    t.add_argument("--seed", type=int, default=0)
+    t.add_argument(
+        "--mix", choices=["economy", "millennium"], default="economy"
+    )
+
+    c = sub.add_parser(
+        "consolidation",
+        help="extension: private clusters vs consolidated utility vs market",
+    )
+    c.add_argument("--n-jobs", type=int, default=1000)
+    c.add_argument("--seeds", type=int, nargs="+", default=[0])
+
+    s = sub.add_parser(
+        "sensitivity", help="extension: workload-parameter sensitivity grids"
+    )
+    s.add_argument(
+        "--grid", choices=["skews", "load-horizon"], default="skews"
+    )
+    s.add_argument("--n-jobs", type=int, default=1000)
+    s.add_argument("--seeds", type=int, nargs="+", default=[0])
+    return parser
+
+
+def _run_one(name: str, args) -> int:
+    scale = "full" if args.full else "quick"
+    overrides = {}
+    if args.n_jobs is not None:
+        overrides["n_jobs"] = args.n_jobs
+    if args.reps is not None:
+        from repro.experiments.replication import run_replicated
+
+        if args.seeds is not None or args.check:
+            raise SystemExit("--reps cannot be combined with --seeds or --check")
+        start = time.time()
+        replicated = run_replicated(name, replications=args.reps, scale=scale, **overrides)
+        print(replicated.table())
+        print(f"  ({scale} scale, {args.reps} replications, {time.time() - start:.1f}s)")
+        print()
+        return 0
+    if args.seeds is not None:
+        overrides["seeds"] = tuple(args.seeds)
+    start = time.time()
+    result = run_experiment(name, scale=scale, **overrides)
+    elapsed = time.time() - start
+    if args.plot:
+        from repro.analysis import render_curves
+
+        x, y, line, log_x = PLOT_SPECS[name]
+        print(
+            render_curves(
+                result.series(x, y, line),
+                title=f"{result.figure}: {result.title} [{y} vs {x}]",
+                log_x=log_x,
+            )
+        )
+    else:
+        print(result.table())
+    print(f"  ({scale} scale, {elapsed:.1f}s)")
+    failures = 0
+    if args.check:
+        print("shape checks:")
+        for check in shape_report(result):
+            print(f"  {check}")
+            if not check.passed and check.robust:
+                failures += 1
+    print()
+    return failures
+
+
+def _print_trace(args) -> None:
+    from repro.metrics.tables import format_table
+    from repro.workload import economy_spec, generate_trace, millennium_spec
+
+    spec = (
+        economy_spec(n_jobs=args.n_jobs)
+        if args.mix == "economy"
+        else millennium_spec(n_jobs=args.n_jobs)
+    )
+    trace = generate_trace(spec, seed=args.seed)
+    rows = [
+        dict(zip(("arrival", "runtime", "value", "decay", "bound", "estimate"), row))
+        for row in trace.iter_rows()
+    ]
+    print(spec.describe())
+    print(format_table(rows))
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        for name, definition in EXPERIMENTS.items():
+            print(f"{name}: {definition.description}")
+        return 0
+    if args.command == "trace":
+        _print_trace(args)
+        return 0
+    if args.command == "consolidation":
+        from repro.experiments.consolidation import run_consolidation
+
+        result = run_consolidation(n_jobs=args.n_jobs, seeds=tuple(args.seeds))
+        print(result.table())
+        return 0
+    if args.command == "sensitivity":
+        from repro.experiments.sensitivity import run_load_horizon_grid, run_skew_grid
+
+        run = run_skew_grid if args.grid == "skews" else run_load_horizon_grid
+        result = run(n_jobs=args.n_jobs, seeds=tuple(args.seeds))
+        print(result.table())
+        return 0
+    names = list(EXPERIMENTS) if args.command == "all" else [args.command]
+    failures = 0
+    for name in names:
+        failures += _run_one(name, args)
+    if failures:
+        print(f"{failures} robust shape check(s) FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

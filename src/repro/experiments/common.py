@@ -1,0 +1,82 @@
+"""Shared experiment plumbing: result container and replication helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.metrics.tables import format_table
+from repro.scheduling.base import SchedulingHeuristic
+from repro.site.driver import SiteResult, simulate_site
+from repro.workload.generator import generate_trace
+from repro.workload.spec import WorkloadSpec
+
+
+@dataclass
+class FigureResult:
+    """Rows of one regenerated figure plus provenance notes."""
+
+    figure: str
+    title: str
+    rows: list[dict] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def table(self, columns: Optional[Sequence[str]] = None) -> str:
+        header = f"{self.figure}: {self.title}"
+        body = format_table(self.rows, columns=columns, title=header)
+        if self.notes:
+            body += "\n" + "\n".join(f"  note: {n}" for n in self.notes)
+        return body
+
+    def series(self, x: str, y: str, line: str) -> dict:
+        """Group rows into ``{line_value: [(x, y), ...]}`` — the paper's
+        lines-on-a-graph view, used by the shape checks."""
+        out: dict = {}
+        for row in self.rows:
+            out.setdefault(row[line], []).append((row[x], row[y]))
+        for key in out:
+            out[key].sort()
+        return out
+
+    def column(self, name: str) -> list:
+        return [row[name] for row in self.rows]
+
+    def lookup(self, **coords) -> dict:
+        """The unique row matching all coordinate equalities."""
+        matches = [
+            row for row in self.rows if all(row.get(k) == v for k, v in coords.items())
+        ]
+        if len(matches) != 1:
+            raise ExperimentError(f"lookup{coords} matched {len(matches)} rows")
+        return matches[0]
+
+
+def mean_yield(
+    spec: WorkloadSpec,
+    heuristic_factory: Callable[[], SchedulingHeuristic],
+    seeds: Sequence[int],
+    metric: str = "total_yield",
+    **site_kwargs,
+) -> float:
+    """Average a site metric over per-seed traces of *spec*.
+
+    ``heuristic_factory`` is called per run so heuristics never share
+    mutable state across replications.
+    """
+    if not seeds:
+        raise ExperimentError("at least one seed is required")
+    values = []
+    for seed in seeds:
+        trace = generate_trace(spec, seed=seed)
+        result = simulate_site(
+            trace,
+            heuristic_factory(),
+            processors=spec.processors,
+            keep_records=False,
+            **site_kwargs,
+        )
+        values.append(getattr(result, metric))
+    return float(np.mean(values))

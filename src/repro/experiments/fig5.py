@@ -1,0 +1,35 @@
+"""Figure 5 — the Figure 4 sweep with unbounded penalties.
+
+Paper: "This experiment is identical to Figure 4, but the penalties are
+unbounded.  In this case, where the system must accept and complete all
+jobs, it is never useful to consider gains, only cost.  Note that the
+magnitude of the improvement relative to FirstPrice is much larger with
+unbounded penalties."
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.common import FigureResult
+from repro.experiments.fig4 import ALPHAS, DECAY_SKEWS, sweep_alpha
+
+
+def run_fig5(
+    n_jobs: int = 5000,
+    seeds: Sequence[int] = (0, 1, 2),
+    alphas: Sequence[float] = ALPHAS,
+    decay_skews: Sequence[float] = DECAY_SKEWS,
+    processors: int = 16,
+) -> FigureResult:
+    """Regenerate Figure 5 (unbounded penalties)."""
+    return sweep_alpha(
+        figure="fig5",
+        title="FirstReward improvement over FirstPrice vs alpha (unbounded penalties)",
+        penalty_bound=None,
+        n_jobs=n_jobs,
+        seeds=seeds,
+        alphas=alphas,
+        decay_skews=decay_skews,
+        processors=processors,
+    )

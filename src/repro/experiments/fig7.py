@@ -1,0 +1,75 @@
+"""Figure 7 — the slack-threshold sweep.
+
+Paper: "The admission control (slack) threshold has a peak that balances
+risk and reward for a given load factor.  It is more important to set
+the slack threshold correctly at higher load levels." Loads {2, 1.33,
+0.89, 0.67, 0.50}; thresholds −200…700; y-axis is percent improvement
+over no admission control.
+
+Both arms (with and without admission control) use FirstReward(α=0) so
+the sweep isolates the admission policy itself.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.common import FigureResult, mean_yield
+from repro.experiments.fig6 import DISCOUNT_RATE, fig67_spec
+from repro.metrics.compare import improvement_percent
+from repro.scheduling.firstreward import FirstReward
+from repro.site.admission import SlackAdmission
+
+LOAD_FACTORS = (0.5, 0.67, 0.89, 1.33, 2.0)
+THRESHOLDS = (-200.0, -100.0, 0.0, 100.0, 200.0, 300.0, 400.0, 500.0, 600.0, 700.0)
+ALPHA = 0.0
+
+
+def run_fig7(
+    n_jobs: int = 5000,
+    seeds: Sequence[int] = (0, 1),
+    load_factors: Sequence[float] = LOAD_FACTORS,
+    thresholds: Sequence[float] = THRESHOLDS,
+    processors: int = 16,
+) -> FigureResult:
+    """Regenerate Figure 7's series.
+
+    Rows: one per (load_factor, threshold) with the admission-controlled
+    yield rate, the no-admission baseline, and percent improvement.
+    """
+    result = FigureResult(
+        figure="fig7",
+        title="Improvement over no admission control vs slack threshold",
+        notes=[
+            f"economy mix as Fig 6; both arms FirstReward(alpha={ALPHA:g}); "
+            f"n={n_jobs}, seeds={list(seeds)}",
+            "at loads > 1 the no-AC baseline yield rate is negative (unbounded "
+            "penalties); improvement is relative to |baseline|",
+        ],
+    )
+    for load in load_factors:
+        spec = fig67_spec(load, n_jobs=n_jobs, processors=processors)
+        baseline = mean_yield(
+            spec,
+            lambda: FirstReward(ALPHA, DISCOUNT_RATE),
+            seeds,
+            metric="yield_rate",
+        )
+        for threshold in thresholds:
+            rate = mean_yield(
+                spec,
+                lambda: FirstReward(ALPHA, DISCOUNT_RATE),
+                seeds,
+                metric="yield_rate",
+                admission=SlackAdmission(threshold, DISCOUNT_RATE),
+            )
+            result.rows.append(
+                {
+                    "load_factor": load,
+                    "threshold": threshold,
+                    "yield_rate": rate,
+                    "noac_yield_rate": baseline,
+                    "improvement_pct": improvement_percent(rate, baseline),
+                }
+            )
+    return result

@@ -1,0 +1,346 @@
+"""Experiment registry and expected-shape checks.
+
+The registry maps figure names to their run functions plus two canned
+scales: ``quick`` (minutes of CPU, used by tests and default CLI runs)
+and ``full`` (paper scale: 5000 jobs, multiple seeds).
+
+The shape checks encode DESIGN.md §3's acceptance criteria — the
+qualitative structure each figure must exhibit (who wins, where peaks
+fall) independent of absolute magnitudes.  Benchmarks assert the robust
+subset; the CLI reports all of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.errors import ExperimentError
+from repro.experiments.common import FigureResult
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.fig6 import run_fig6
+from repro.experiments.fig7 import run_fig7
+
+
+@dataclass(frozen=True)
+class ShapeCheck:
+    """One qualitative acceptance criterion and its verdict."""
+
+    name: str
+    passed: bool
+    detail: str
+    robust: bool = True  # robust checks must hold even at quick scale
+
+    def __str__(self) -> str:
+        mark = "PASS" if self.passed else "FAIL"
+        tag = "" if self.robust else " (soft)"
+        return f"[{mark}]{tag} {self.name}: {self.detail}"
+
+
+# ----------------------------------------------------------------------
+# Per-figure shape checks
+# ----------------------------------------------------------------------
+
+def _line_max(points: list[tuple]) -> tuple:
+    return max(points, key=lambda p: p[1])
+
+
+def check_fig3(res: FigureResult) -> list[ShapeCheck]:
+    series = res.series("discount_pct", "improvement_pct", "value_skew")
+    checks = []
+    smallest_pct = min(x for pts in series.values() for x, _ in pts)
+    at_zero = [abs(y) for pts in series.values() for x, y in pts if x == smallest_pct]
+    checks.append(
+        ShapeCheck(
+            "pv-equals-firstprice-as-rate-vanishes",
+            max(at_zero) < 1.5,
+            f"|improvement| at {smallest_pct}%: max {max(at_zero):.2f}%",
+        )
+    )
+    best = max(y for pts in series.values() for _, y in pts)
+    checks.append(
+        ShapeCheck(
+            "pv-gains-at-moderate-rates",
+            best > 0.5,
+            f"best improvement anywhere: {best:+.2f}%",
+        )
+    )
+    skews = sorted(series)
+    lo_line, hi_line = series[skews[0]], series[skews[-1]]
+    lo_best, hi_best = _line_max(lo_line)[1], _line_max(hi_line)[1]
+    checks.append(
+        ShapeCheck(
+            "gains-grow-with-value-skew",
+            hi_best > lo_best,
+            f"peak at skew {skews[-1]}: {hi_best:+.2f}% vs skew {skews[0]}: {lo_best:+.2f}%",
+            robust=False,
+        )
+    )
+    lo_tail = lo_line[-1][1]
+    checks.append(
+        ShapeCheck(
+            "extreme-discount-hurts-low-skew",
+            lo_tail < lo_best,
+            f"skew {skews[0]}: tail {lo_tail:+.2f}% < peak {lo_best:+.2f}%",
+            robust=False,
+        )
+    )
+    return checks
+
+
+def check_fig4(res: FigureResult) -> list[ShapeCheck]:
+    series = res.series("alpha", "improvement_pct", "decay_skew")
+    checks = []
+    interior_beats_extremes = []
+    for dskew, pts in series.items():
+        xs = [x for x, _ in pts]
+        best_alpha, best = _line_max(pts)
+        end_vals = [y for x, y in pts if x in (min(xs), max(xs))]
+        interior_beats_extremes.append(best >= max(end_vals) - 1e-9)
+    checks.append(
+        ShapeCheck(
+            "hybrid-works-best",
+            all(interior_beats_extremes),
+            "peak improvement per decay skew is >= both alpha extremes",
+        )
+    )
+    magnitudes = [abs(y) for pts in series.values() for _, y in pts]
+    checks.append(
+        ShapeCheck(
+            "bounded-improvements-modest",
+            max(magnitudes) < 20.0,
+            f"max |improvement| {max(magnitudes):.1f}% (paper: single digits)",
+        )
+    )
+    return checks
+
+
+def check_fig5(res: FigureResult) -> list[ShapeCheck]:
+    series = res.series("alpha", "improvement_pct", "decay_skew")
+    checks = []
+    cost_best = all(
+        pts[0][1] >= pts[-1][1] - 1.0 for pts in series.values()
+    )
+    checks.append(
+        ShapeCheck(
+            "never-useful-to-consider-gains",
+            cost_best,
+            "improvement at alpha=0 >= improvement at max alpha for every decay skew",
+        )
+    )
+    trend_down = all(
+        pts[0][1] >= pts[len(pts) // 2][1] - 1.0 >= pts[-1][1] - 2.0
+        for pts in series.values()
+    )
+    checks.append(
+        ShapeCheck(
+            "improvement-decreases-with-alpha",
+            trend_down,
+            "alpha=0 >= mid-alpha >= max-alpha (with tolerance) per decay skew",
+            robust=False,
+        )
+    )
+    skews = sorted(series)
+    grows = series[skews[-1]][0][1] > series[skews[0]][0][1]
+    checks.append(
+        ShapeCheck(
+            "improvement-grows-with-decay-skew",
+            grows,
+            f"alpha=0: {series[skews[-1]][0][1]:+.1f}% at skew {skews[-1]} vs "
+            f"{series[skews[0]][0][1]:+.1f}% at skew {skews[0]}",
+        )
+    )
+    checks.append(
+        ShapeCheck(
+            "magnitude-order-larger-than-bounded-case",
+            series[skews[-1]][0][1] > 5.0,
+            f"alpha=0 improvement at top decay skew: {series[skews[-1]][0][1]:+.1f}%",
+        )
+    )
+    return checks
+
+
+def check_fig6(res: FigureResult) -> list[ShapeCheck]:
+    series = res.series("load_factor", "yield_rate", "policy")
+    checks = []
+    ac0 = series["alpha=0"]
+    noac = series["firstprice-noac"]
+    checks.append(
+        ShapeCheck(
+            "admission-control-yield-rises-with-load",
+            ac0[-1][1] > ac0[0][1] > 0,
+            f"alpha=0: rate {ac0[0][1]:.1f} at load {ac0[0][0]} -> "
+            f"{ac0[-1][1]:.1f} at load {ac0[-1][0]}",
+        )
+    )
+    checks.append(
+        ShapeCheck(
+            "no-admission-control-collapses",
+            noac[-1][1] < 0 and noac[-1][1] < noac[0][1],
+            f"no-AC rate: {noac[0][1]:.1f} -> {noac[-1][1]:.1f}",
+        )
+    )
+    checks.append(
+        ShapeCheck(
+            "admission-control-critical-under-heavy-load",
+            ac0[-1][1] > noac[-1][1],
+            f"at max load: AC {ac0[-1][1]:.1f} vs no-AC {noac[-1][1]:.1f}",
+        )
+    )
+    if "alpha=1" in series:
+        hi_alpha = series["alpha=1"]
+        checks.append(
+            ShapeCheck(
+                "cost-ordering-matters-at-high-load",
+                ac0[-1][1] >= hi_alpha[-1][1] - 1.0,
+                f"at max load: alpha=0 {ac0[-1][1]:.1f} vs alpha=1 {hi_alpha[-1][1]:.1f}",
+                robust=False,
+            )
+        )
+    return checks
+
+
+def check_fig7(res: FigureResult) -> list[ShapeCheck]:
+    series = res.series("threshold", "improvement_pct", "load_factor")
+    checks = []
+    loads = sorted(series)
+    peak_of = {load: _line_max(pts) for load, pts in series.items()}
+    hi, lo = loads[-1], loads[0]
+    checks.append(
+        ShapeCheck(
+            "ideal-threshold-grows-with-load",
+            peak_of[hi][0] >= peak_of[lo][0],
+            f"peak threshold {peak_of[hi][0]:g} at load {hi} vs "
+            f"{peak_of[lo][0]:g} at load {lo}",
+        )
+    )
+    checks.append(
+        ShapeCheck(
+            "threshold-matters-more-at-high-load",
+            peak_of[hi][1] > peak_of[lo][1],
+            f"peak improvement {peak_of[hi][1]:+.1f}% at load {hi} vs "
+            f"{peak_of[lo][1]:+.1f}% at load {lo}",
+        )
+    )
+    overloaded = [load for load in loads if load > 1.0]
+    peaked = all(
+        peak_of[load][1] > series[load][-1][1] for load in overloaded
+    )
+    checks.append(
+        ShapeCheck(
+            "high-threshold-overshoots",
+            peaked,
+            "for overloaded mixes the peak beats the rightmost (most "
+            "conservative) threshold",
+            robust=False,
+        )
+    )
+    return checks
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ExperimentDef:
+    name: str
+    description: str
+    run: Callable[..., FigureResult]
+    check: Callable[[FigureResult], list[ShapeCheck]]
+    quick: dict
+    full: dict
+
+
+EXPERIMENTS: dict[str, ExperimentDef] = {
+    "fig3": ExperimentDef(
+        name="fig3",
+        description="PV vs FirstPrice across discount rates and value skews",
+        run=run_fig3,
+        check=check_fig3,
+        quick=dict(
+            n_jobs=1500,
+            seeds=(0,),
+            value_skews=(1.0, 2.15, 9.0),
+            discount_percents=(0.001, 0.1, 1.0, 10.0),
+        ),
+        full=dict(n_jobs=5000, seeds=(0, 1)),
+    ),
+    "fig4": ExperimentDef(
+        name="fig4",
+        description="FirstReward alpha sweep, bounded penalties",
+        run=run_fig4,
+        check=check_fig4,
+        quick=dict(
+            n_jobs=2000,
+            seeds=(0, 1),
+            alphas=(0.0, 0.3, 0.6, 0.9),
+            decay_skews=(3.0, 7.0),
+        ),
+        full=dict(n_jobs=5000, seeds=(0, 1, 2)),
+    ),
+    "fig5": ExperimentDef(
+        name="fig5",
+        description="FirstReward alpha sweep, unbounded penalties",
+        run=run_fig5,
+        check=check_fig5,
+        quick=dict(
+            n_jobs=2000,
+            seeds=(0, 1),
+            alphas=(0.0, 0.3, 0.6, 0.9),
+            decay_skews=(3.0, 7.0),
+        ),
+        full=dict(n_jobs=5000, seeds=(0, 1, 2)),
+    ),
+    "fig6": ExperimentDef(
+        name="fig6",
+        description="yield rate vs load factor with slack admission control",
+        run=run_fig6,
+        check=check_fig6,
+        quick=dict(
+            n_jobs=1500,
+            seeds=(0,),
+            load_factors=(0.5, 1.5, 3.0, 4.5),
+            alphas=(0.0, 0.4, 1.0),
+        ),
+        full=dict(n_jobs=5000, seeds=(0, 1)),
+    ),
+    "fig7": ExperimentDef(
+        name="fig7",
+        description="improvement over no admission control vs slack threshold",
+        run=run_fig7,
+        check=check_fig7,
+        quick=dict(
+            n_jobs=1500,
+            seeds=(0,),
+            load_factors=(0.5, 1.33, 2.0),
+            thresholds=(-200.0, 0.0, 200.0, 400.0, 700.0),
+        ),
+        full=dict(n_jobs=5000, seeds=(0, 1)),
+    ),
+}
+
+
+def run_experiment(name: str, scale: str = "quick", **overrides) -> FigureResult:
+    """Run a registered experiment at ``quick`` or ``full`` scale."""
+    try:
+        definition = EXPERIMENTS[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {name!r}; options: {sorted(EXPERIMENTS)}"
+        ) from None
+    if scale not in ("quick", "full"):
+        raise ExperimentError(f"scale must be 'quick' or 'full', got {scale!r}")
+    kwargs = dict(definition.quick if scale == "quick" else definition.full)
+    kwargs.update(overrides)
+    return definition.run(**kwargs)
+
+
+def shape_report(result: FigureResult) -> list[ShapeCheck]:
+    """Run the registered shape checks for a figure result."""
+    definition = EXPERIMENTS.get(result.figure)
+    if definition is None:
+        raise ExperimentError(f"no shape checks registered for {result.figure!r}")
+    return definition.check(result)

@@ -1,0 +1,101 @@
+"""Sensitivity analysis over the workload's interacting characteristics.
+
+§4.1: "Many interacting characteristics of the job mixes play key roles
+in determining the results. ... Other trace properties that affect
+results include the distributions of value, decay, job duration, and
+inter-arrival times."  This harness maps that interaction surface: the
+FirstReward-over-FirstPrice improvement across a value-skew × decay-skew
+grid (at fixed load), and across a load × decay-horizon grid (at fixed
+skews).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.common import FigureResult, mean_yield
+from repro.metrics.compare import improvement_percent
+from repro.scheduling.firstprice import FirstPrice
+from repro.scheduling.firstreward import FirstReward
+from repro.workload.millennium import economy_spec
+
+ALPHA = 0.3
+DISCOUNT_RATE = 0.01
+
+
+def run_skew_grid(
+    n_jobs: int = 1500,
+    seeds: Sequence[int] = (0,),
+    value_skews: Sequence[float] = (1.0, 2.0, 4.0, 8.0),
+    decay_skews: Sequence[float] = (1.0, 3.0, 5.0, 7.0),
+    load_factor: float = 0.9,
+    processors: int = 16,
+) -> FigureResult:
+    """FirstReward improvement across the (value skew × decay skew) grid."""
+    result = FigureResult(
+        figure="sensitivity-skews",
+        title=f"FirstReward(alpha={ALPHA}) improvement over FirstPrice, "
+        "value skew x decay skew (unbounded penalties)",
+        notes=[f"economy mix, load {load_factor}, n={n_jobs}, seeds={list(seeds)}"],
+    )
+    for vskew in value_skews:
+        for dskew in decay_skews:
+            spec = economy_spec(
+                n_jobs=n_jobs,
+                value_skew=vskew,
+                decay_skew=dskew,
+                load_factor=load_factor,
+                processors=processors,
+            )
+            baseline = mean_yield(spec, FirstPrice, seeds)
+            fr = mean_yield(spec, lambda: FirstReward(ALPHA, DISCOUNT_RATE), seeds)
+            result.rows.append(
+                {
+                    "value_skew": vskew,
+                    "decay_skew": dskew,
+                    "improvement_pct": improvement_percent(fr, baseline),
+                }
+            )
+    return result
+
+
+def run_load_horizon_grid(
+    n_jobs: int = 1500,
+    seeds: Sequence[int] = (0,),
+    load_factors: Sequence[float] = (0.6, 0.8, 0.9, 1.0),
+    horizons: Sequence[float] = (1.0, 2.0, 4.0, 8.0),
+    processors: int = 16,
+) -> FigureResult:
+    """FirstReward improvement across the (load × decay-horizon) grid.
+
+    The horizon is how many mean runtimes of delay erase an average
+    job's value — the urgency scale the paper leaves implicit.
+    """
+    result = FigureResult(
+        figure="sensitivity-load-horizon",
+        title=f"FirstReward(alpha={ALPHA}) improvement over FirstPrice, "
+        "load factor x decay horizon (unbounded penalties)",
+        notes=[
+            f"economy mix, value skew 2, decay skew 5, n={n_jobs}, seeds={list(seeds)}"
+        ],
+    )
+    for load in load_factors:
+        for horizon in horizons:
+            spec = economy_spec(
+                n_jobs=n_jobs,
+                value_skew=2.0,
+                decay_skew=5.0,
+                load_factor=load,
+                processors=processors,
+                decay_horizon=horizon,
+            )
+            baseline = mean_yield(spec, FirstPrice, seeds)
+            fr = mean_yield(spec, lambda: FirstReward(ALPHA, DISCOUNT_RATE), seeds)
+            result.rows.append(
+                {
+                    "load_factor": load,
+                    "decay_horizon": horizon,
+                    "improvement_pct": improvement_percent(fr, baseline),
+                }
+            )
+    return result

@@ -1,0 +1,141 @@
+"""Budgeted clients (§2's currency premise).
+
+"We envision that each user or group is assigned a budget to spend on
+computing service over each time interval, as in previous economic
+resource managers."  A :class:`BudgetedClient` holds currency that
+recharges every interval, submits its tasks as bids through a broker
+while funds last, and commits the agreed price of each contract against
+its balance (reconciling to the settled price when the task finishes).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import MarketError
+from repro.market.broker import Broker, NegotiationOutcome
+from repro.sim.kernel import Simulator
+from repro.tasks.bid import TaskBid
+from repro.tasks.contract import Contract
+
+
+class BudgetedClient:
+    """A client whose bidding is limited by a recharging budget.
+
+    Parameters
+    ----------
+    sim, broker:
+        The simulation and the broker that negotiates on the client's
+        behalf.
+    budget_per_interval:
+        Currency granted at the start of every interval.
+    interval:
+        Recharge period (``None`` = a single non-recharging grant).
+    carry_over:
+        Whether unspent budget accumulates across intervals (default
+        False: use-it-or-lose-it, the common allocation policy).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        broker: Broker,
+        budget_per_interval: float,
+        interval: Optional[float] = None,
+        carry_over: bool = False,
+        client_id: str = "client",
+    ) -> None:
+        if budget_per_interval < 0:
+            raise MarketError(f"budget must be >= 0, got {budget_per_interval!r}")
+        if interval is not None and interval <= 0:
+            raise MarketError(f"interval must be > 0, got {interval!r}")
+        self.sim = sim
+        self.broker = broker
+        self.client_id = client_id
+        self.budget_per_interval = float(budget_per_interval)
+        self.interval = interval
+        self.carry_over = carry_over
+        self.available = float(budget_per_interval)
+        self.spent_committed = 0.0
+        self.contracts: list[Contract] = []
+        self.skipped_for_budget = 0
+        self.rejected_by_market = 0
+        if interval is not None:
+            sim.schedule(interval, self._recharge, tag=f"{client_id}:recharge", daemon=True)
+
+    # ------------------------------------------------------------------
+    def _recharge(self) -> None:
+        if self.carry_over:
+            self.available += self.budget_per_interval
+        else:
+            self.available = self.budget_per_interval
+        assert self.interval is not None
+        self.sim.schedule(
+            self.interval, self._recharge, tag=f"{self.client_id}:recharge", daemon=True
+        )
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        runtime: float,
+        value: float,
+        decay: float,
+        bound: Optional[float] = None,
+    ) -> Optional[NegotiationOutcome]:
+        """Bid for one task now; returns None when the budget cannot cover it.
+
+        The client commits the *agreed* price at award time (the maximum
+        it can be charged if served as promised); the difference against
+        the eventually settled price is reconciled by
+        :meth:`reconcile`.
+        """
+        if value > self.available:
+            self.skipped_for_budget += 1
+            return None
+        bid = TaskBid(
+            runtime=runtime, value=value, decay=decay, bound=bound,
+            client_id=self.client_id, released_at=self.sim.now,
+        )
+        outcome = self.broker.negotiate(bid)
+        if outcome.contract is None:
+            self.rejected_by_market += 1
+            return outcome
+        commitment = max(0.0, outcome.contract.agreed_price)
+        self.available -= commitment
+        self.spent_committed += commitment
+        self.contracts.append(outcome.contract)
+        return outcome
+
+    # ------------------------------------------------------------------
+    @property
+    def settled_spend(self) -> float:
+        """Total actually paid across settled contracts (penalties are
+        negative spend — the site pays the client)."""
+        return sum(
+            c.actual_price for c in self.contracts if c.settled and c.actual_price is not None
+        )
+
+    def reconcile(self) -> float:
+        """Difference between committed and settled spend (refund if > 0).
+
+        Call after the simulation drains; raises if contracts are still
+        open.
+        """
+        open_contracts = [c for c in self.contracts if not c.settled]
+        if open_contracts:
+            raise MarketError(
+                f"{len(open_contracts)} contracts still open; run the "
+                "simulation to completion before reconciling"
+            )
+        return self.spent_committed - self.settled_spend
+
+    def summary(self) -> dict:
+        return {
+            "client_id": self.client_id,
+            "contracts": len(self.contracts),
+            "skipped_for_budget": self.skipped_for_budget,
+            "rejected_by_market": self.rejected_by_market,
+            "spent_committed": self.spent_committed,
+            "settled_spend": self.settled_spend,
+            "available": self.available,
+        }

@@ -1,0 +1,49 @@
+"""Pricing policies for server bids.
+
+The paper (§6): "Our site policies act as if the price is derived
+directly from the original value function, i.e., client bid value and
+price are equivalent, although a pricing strategy may propose a
+different price."  :class:`BidValuePricing` is that default;
+:class:`DiscountedPricing` demonstrates the hook ("in practice, it may
+be useful to charge prices below the bid price to provide incentives for
+buyers to bid truthfully", §2).
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.errors import MarketError
+from repro.site.admission import AdmissionDecision
+from repro.tasks.bid import TaskBid
+
+
+class PricingPolicy(abc.ABC):
+    """Maps (bid, admission evaluation) to the price quoted in a server bid."""
+
+    @abc.abstractmethod
+    def quote(self, bid: TaskBid, decision: AdmissionDecision) -> float:
+        """Expected price for the task at its expected completion time."""
+
+
+class BidValuePricing(PricingPolicy):
+    """The paper's default: price equals the bid's expected yield."""
+
+    def quote(self, bid: TaskBid, decision: AdmissionDecision) -> float:
+        return decision.expected_yield
+
+
+class DiscountedPricing(PricingPolicy):
+    """Charge a fixed fraction of the expected yield (price below bid).
+
+    ``fraction=0.9`` quotes 90% of the expected yield, leaving the buyer
+    surplus that rewards truthful bidding.
+    """
+
+    def __init__(self, fraction: float = 0.9) -> None:
+        if not 0.0 < fraction <= 1.0:
+            raise MarketError(f"pricing fraction must be in (0, 1], got {fraction!r}")
+        self.fraction = float(fraction)
+
+    def quote(self, bid: TaskBid, decision: AdmissionDecision) -> float:
+        return self.fraction * decision.expected_yield

@@ -1,0 +1,169 @@
+"""The negotiation protocol as explicit messages, with optional latency.
+
+The default :class:`~repro.market.broker.Broker` negotiates instantly —
+the paper notes the protocol "may consist of just this one pair of
+exchanges".  Real grids have wire latency, and latency matters: a quote
+reflects the site's candidate schedule *at quote time*, so by the time
+the award lands the schedule may have moved (quotes go stale and
+promised completions get missed).
+
+:class:`LatentNegotiator` runs the same two-phase exchange as simulation
+*processes* on the DES kernel: request → (latency) → quotes →
+(selection) → (latency) → award.  Message dataclasses make the exchange
+inspectable; tests assert both the happy path and the stale-quote
+effect.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.errors import MarketError
+from repro.market.broker import SelectionStrategy, best_yield
+from repro.market.sites import MarketSite
+from repro.sim.kernel import Simulator
+from repro.sim.process import Process, Timeout
+from repro.tasks.bid import ServerBid, TaskBid
+from repro.tasks.contract import Contract
+
+_negotiation_ids = itertools.count()
+
+
+@dataclass(frozen=True)
+class BidRequest:
+    """Client → site: the sealed bid."""
+
+    negotiation_id: int
+    bid: TaskBid
+    sent_at: float
+
+
+@dataclass(frozen=True)
+class BidResponse:
+    """Site → client: a quote, or a decline (quote=None)."""
+
+    negotiation_id: int
+    site_id: str
+    quote: Optional[ServerBid]
+    sent_at: float
+
+
+@dataclass(frozen=True)
+class Award:
+    """Client → winning site: accept the quoted terms."""
+
+    negotiation_id: int
+    site_id: str
+    quote: ServerBid
+    sent_at: float
+
+
+@dataclass
+class NegotiationRecord:
+    """Full transcript of one latent negotiation."""
+
+    negotiation_id: int
+    request: Optional[BidRequest] = None
+    responses: list[BidResponse] = field(default_factory=list)
+    award: Optional[Award] = None
+    contract: Optional[Contract] = None
+
+    @property
+    def accepted(self) -> bool:
+        return self.contract is not None
+
+    @property
+    def round_trips(self) -> int:
+        return (1 if self.request else 0) + (1 if self.award else 0)
+
+
+class LatentNegotiator:
+    """Two-phase negotiation with symmetric one-way message latency.
+
+    Each ``negotiate`` call spawns a process: the request takes
+    ``latency`` to reach the sites, quotes take ``latency`` to return,
+    and the award another ``latency`` to land — 3 one-way hops before
+    the task enters the winner's schedule.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        sites: Sequence[MarketSite],
+        latency: float = 0.0,
+        strategy: SelectionStrategy = best_yield,
+    ) -> None:
+        if not sites:
+            raise MarketError("negotiator requires at least one site")
+        if latency < 0:
+            raise MarketError(f"latency must be >= 0, got {latency!r}")
+        self.sim = sim
+        self.sites = list(sites)
+        self.latency = float(latency)
+        self.strategy = strategy
+        self.records: list[NegotiationRecord] = []
+
+    def negotiate(self, bid: TaskBid) -> NegotiationRecord:
+        """Start one negotiation; returns its (live) transcript record.
+
+        The bid's release time is anchored to *now* when unset, so the
+        whole protocol latency counts as delay against the client's
+        value function.
+        """
+        if bid.released_at is None:
+            from dataclasses import replace
+
+            bid = replace(bid, released_at=self.sim.now)
+        record = NegotiationRecord(negotiation_id=next(_negotiation_ids))
+        self.records.append(record)
+        Process(self.sim, self._run(bid, record), name=f"negotiation-{record.negotiation_id}")
+        return record
+
+    def _run(self, bid: TaskBid, record: NegotiationRecord):
+        record.request = BidRequest(record.negotiation_id, bid, self.sim.now)
+        if self.latency:
+            yield Timeout(self.latency)  # request in flight
+
+        quotes: list[ServerBid] = []
+        quote_sites: list[MarketSite] = []
+        for site in self.sites:
+            quote = site.quote(bid)
+            record.responses.append(
+                BidResponse(record.negotiation_id, site.site_id, quote, self.sim.now)
+            )
+            if quote is not None:
+                quotes.append(quote)
+                quote_sites.append(site)
+
+        if self.latency:
+            yield Timeout(self.latency)  # responses in flight
+
+        index = self.strategy(bid, quotes)
+        if index is None:
+            return record
+
+        if self.latency:
+            yield Timeout(self.latency)  # award in flight
+
+        winner = quotes[index]
+        record.award = Award(record.negotiation_id, winner.site_id, winner, self.sim.now)
+        record.contract = quote_sites[index].award(bid, winner)
+        return record
+
+    # ------------------------------------------------------------------
+    @property
+    def accepted(self) -> int:
+        return sum(1 for r in self.records if r.accepted)
+
+    @property
+    def stale_promise_rate(self) -> float:
+        """Fraction of settled contracts that missed their promised
+        completion — the cost of negotiating over a slow wire."""
+        settled = [
+            r.contract for r in self.records if r.contract is not None and r.contract.settled
+        ]
+        if not settled:
+            return 0.0
+        return sum(1 for c in settled if not c.on_time) / len(settled)

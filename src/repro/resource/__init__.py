@@ -1,0 +1,19 @@
+"""The underlying resource market (§7's stated direction).
+
+"One goal of our work is to create a foundation for service providers
+to buy or sell raw resources in an underlying resource market, based on
+current demand for the service they provide. ... the task service may
+act as a reseller of resources acquired from a shared resource pool."
+
+* :mod:`repro.resource.provider` — a :class:`ResourceProvider` renting
+  interchangeable nodes at a posted unit price, with leases and refunds.
+* :mod:`repro.resource.elastic` — an :class:`ElasticSite`: a task
+  service that periodically compares its internal marginal yield against
+  the node rent and leases/releases capacity accordingly, exactly the
+  reseller role the paper sketches.
+"""
+
+from repro.resource.elastic import ElasticSite, ProvisioningPolicy
+from repro.resource.provider import Lease, ResourceProvider
+
+__all__ = ["ElasticSite", "Lease", "ProvisioningPolicy", "ResourceProvider"]

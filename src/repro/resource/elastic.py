@@ -1,0 +1,183 @@
+"""An elastic task service: the paper's reseller role (§7).
+
+The site "may use its internal measures of per-unit gain and risk as a
+basis for its own pricing and bidding strategy in a resource market".
+:class:`ElasticSite` does precisely that with the simplest rational
+rule: it periodically compares the *unit gain* of its queued work
+(yield per node per time — FirstPrice's score, the paper's internal
+price measure) against the posted node rent, leases nodes while queued
+work earns more than they cost, and returns idle nodes whose rent they
+no longer cover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.resource.provider import Lease, ResourceProvider
+from repro.scheduling.base import SchedulingHeuristic
+from repro.scheduling.firstprice import FirstPrice
+from repro.sim.kernel import Simulator
+from repro.site.service import TaskServiceSite
+from repro.tasks.task import Task
+
+
+@dataclass(frozen=True)
+class ProvisioningPolicy:
+    """When to lease and when to return nodes.
+
+    Attributes
+    ----------
+    min_nodes / max_nodes:
+        Fleet bounds (max ``None`` = limited only by the provider).
+    review_interval:
+        Time between provisioning reviews (daemon events).
+    margin:
+        A queued task justifies a new node only if its unit gain exceeds
+        ``rent · margin`` — the safety factor against paying rent for
+        work that decays away before it runs.
+    """
+
+    min_nodes: int = 1
+    max_nodes: Optional[int] = None
+    review_interval: float = 50.0
+    margin: float = 1.2
+
+    def __post_init__(self) -> None:
+        if self.min_nodes < 1:
+            raise ReproError(f"min_nodes must be >= 1, got {self.min_nodes}")
+        if self.max_nodes is not None and self.max_nodes < self.min_nodes:
+            raise ReproError("max_nodes must be >= min_nodes")
+        if self.review_interval <= 0:
+            raise ReproError("review_interval must be > 0")
+        if self.margin < 0:
+            raise ReproError("margin must be >= 0")
+
+
+class ElasticSite:
+    """A task service leasing its nodes from a resource provider."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        provider: ResourceProvider,
+        heuristic: Optional[SchedulingHeuristic] = None,
+        policy: Optional[ProvisioningPolicy] = None,
+        admission=None,
+        site_id: str = "elastic",
+    ) -> None:
+        self.sim = sim
+        self.provider = provider
+        self.policy = policy if policy is not None else ProvisioningPolicy()
+        self.site_id = site_id
+        initial = self.provider.acquire(site_id, self.policy.min_nodes)
+        if initial is None:
+            raise ReproError(
+                f"provider cannot supply the minimum fleet of {self.policy.min_nodes}"
+            )
+        self._leases: list[Lease] = [initial]
+        self.engine = TaskServiceSite(
+            sim,
+            processors=self.policy.min_nodes,
+            heuristic=heuristic if heuristic is not None else FirstPrice(),
+            admission=admission,
+            site_id=site_id,
+        )
+        self._pricer = FirstPrice()  # unit-gain measure for lease decisions
+        self.reviews = 0
+        self.nodes_acquired = self.policy.min_nodes
+        self.nodes_returned = 0
+        sim.schedule(
+            self.policy.review_interval, self._review, tag=f"{site_id}:review", daemon=True
+        )
+
+    # ------------------------------------------------------------------
+    def submit(self, task: Task):
+        decision = self.engine.submit(task)
+        return decision
+
+    # ------------------------------------------------------------------
+    @property
+    def fleet_size(self) -> int:
+        return self.engine.processors.count
+
+    @property
+    def rent_paid(self) -> float:
+        return self.provider.tenant_cost(self.site_id)
+
+    @property
+    def profit(self) -> float:
+        """Yield earned minus rent accrued so far."""
+        return self.engine.ledger.total_yield - self.rent_paid
+
+    # ------------------------------------------------------------------
+    def _worthwhile_backlog(self) -> int:
+        """Queued tasks whose unit gain beats the rent (with margin)."""
+        if not self.engine.pool:
+            return 0
+        gains = self._pricer.scores(self.engine.pool.columns(), self.sim.now)
+        threshold = self.provider.unit_price * self.policy.margin
+        return int(np.count_nonzero(gains > threshold))
+
+    def _review(self) -> None:
+        self.reviews += 1
+        backlog = self._worthwhile_backlog()
+        free = self.engine.processors.free_count
+
+        if backlog > free:
+            want = backlog - free
+            if self.policy.max_nodes is not None:
+                want = min(want, self.policy.max_nodes - self.fleet_size)
+            want = min(want, self.provider.available_nodes)
+            if want > 0:
+                lease = self.provider.acquire(self.site_id, want)
+                if lease is not None:
+                    self._leases.append(lease)
+                    self.engine.processors.grow(want)
+                    self.nodes_acquired += want
+                    self.engine._schedule_pass()
+        elif backlog == 0 and free > 0 and self.fleet_size > self.policy.min_nodes:
+            surplus = min(free, self.fleet_size - self.policy.min_nodes)
+            removed = self.engine.processors.shrink_idle(surplus)
+            self._return_nodes(removed)
+
+        self.sim.schedule(
+            self.policy.review_interval,
+            self._review,
+            tag=f"{self.site_id}:review",
+            daemon=True,
+        )
+
+    def _return_nodes(self, count: int) -> None:
+        remaining = count
+        while remaining > 0:
+            lease = next((l for l in reversed(self._leases) if l.open), None)
+            if lease is None:
+                raise ReproError("returning nodes without an open lease")
+            portion = min(remaining, lease.nodes)
+            self.provider.release(lease, portion)
+            remaining -= portion
+            self.nodes_returned += portion
+
+    def settle(self) -> float:
+        """Release every open lease (end of business); returns total rent."""
+        for lease in self._leases:
+            if lease.open:
+                self.provider.release(lease)
+        return self.rent_paid
+
+    def summary(self) -> dict:
+        return {
+            "site_id": self.site_id,
+            "fleet_size": self.fleet_size,
+            "nodes_acquired": self.nodes_acquired,
+            "nodes_returned": self.nodes_returned,
+            "reviews": self.reviews,
+            "total_yield": self.engine.ledger.total_yield,
+            "rent_paid": self.rent_paid,
+            "profit": self.profit,
+        }

@@ -1,0 +1,137 @@
+"""A resource provider renting raw nodes at a posted price.
+
+The simplest substrate the §7 resource-market direction needs: a fixed
+stock of interchangeable nodes, leased by the node-time unit at a posted
+price.  Billing is exact: a lease accrues cost from acquisition to
+release, charged on release (open leases can be priced at any instant
+for reporting).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ReproError
+from repro.sim.kernel import Simulator
+
+_lease_ids = itertools.count()
+
+
+class ResourceMarketError(ReproError):
+    """Invalid operation against the resource provider."""
+
+
+@dataclass
+class Lease:
+    """One rented block of nodes."""
+
+    lease_id: int
+    tenant: str
+    nodes: int
+    unit_price: float  # currency per node per time unit
+    acquired_at: float
+    released_at: Optional[float] = None
+
+    @property
+    def open(self) -> bool:
+        return self.released_at is None
+
+    def cost_until(self, now: float) -> float:
+        end = self.released_at if self.released_at is not None else now
+        return self.nodes * self.unit_price * max(0.0, end - self.acquired_at)
+
+
+class ResourceProvider:
+    """Rents nodes from a finite stock at a posted unit price.
+
+    Parameters
+    ----------
+    sim:
+        Simulation kernel (leases are timestamped off its clock).
+    capacity:
+        Total nodes in the pool.
+    unit_price:
+        Posted price per node per time unit.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int, unit_price: float) -> None:
+        if capacity < 1:
+            raise ResourceMarketError(f"capacity must be >= 1, got {capacity}")
+        if unit_price < 0:
+            raise ResourceMarketError(f"unit_price must be >= 0, got {unit_price!r}")
+        self.sim = sim
+        self.capacity = capacity
+        self.unit_price = float(unit_price)
+        self.leases: list[Lease] = []
+        self.revenue = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def leased_nodes(self) -> int:
+        return sum(l.nodes for l in self.leases if l.open)
+
+    @property
+    def available_nodes(self) -> int:
+        return self.capacity - self.leased_nodes
+
+    # ------------------------------------------------------------------
+    def acquire(self, tenant: str, nodes: int) -> Optional[Lease]:
+        """Lease *nodes* at the posted price; None when stock is short."""
+        if nodes < 1:
+            raise ResourceMarketError(f"must lease >= 1 node, got {nodes}")
+        if nodes > self.available_nodes:
+            return None
+        lease = Lease(
+            lease_id=next(_lease_ids),
+            tenant=tenant,
+            nodes=nodes,
+            unit_price=self.unit_price,
+            acquired_at=self.sim.now,
+        )
+        self.leases.append(lease)
+        return lease
+
+    def release(self, lease: Lease, nodes: Optional[int] = None) -> float:
+        """Return a lease (or part of it); bills and returns the cost.
+
+        Partial release splits the lease: the returned nodes are billed
+        now; the remainder keeps accruing under the original lease.
+        """
+        if not lease.open:
+            raise ResourceMarketError(f"lease {lease.lease_id} already released")
+        if lease not in self.leases:
+            raise ResourceMarketError(f"lease {lease.lease_id} is not ours")
+        count = lease.nodes if nodes is None else nodes
+        if not 1 <= count <= lease.nodes:
+            raise ResourceMarketError(
+                f"cannot release {count} of {lease.nodes} leased nodes"
+            )
+        now = self.sim.now
+        if count < lease.nodes:
+            lease.nodes -= count
+            returned = Lease(
+                lease_id=next(_lease_ids),
+                tenant=lease.tenant,
+                nodes=count,
+                unit_price=lease.unit_price,
+                acquired_at=lease.acquired_at,
+                released_at=now,
+            )
+            self.leases.append(returned)
+            cost = returned.cost_until(now)
+        else:
+            lease.released_at = now
+            cost = lease.cost_until(now)
+        self.revenue += cost
+        return cost
+
+    # ------------------------------------------------------------------
+    def tenant_cost(self, tenant: str, now: Optional[float] = None) -> float:
+        """Total accrued cost (billed + running) for one tenant."""
+        at = self.sim.now if now is None else now
+        return sum(l.cost_until(at) for l in self.leases if l.tenant == tenant)
+
+    def utilization(self) -> float:
+        return self.leased_nodes / self.capacity

@@ -1,0 +1,143 @@
+"""Heuristic interface and the shared vectorized yield arithmetic.
+
+The quantities every heuristic needs, computed as NumPy vectors over a
+pool of pending tasks at decision time ``now``:
+
+* ``current_delays`` — Eq. 2's delay assuming the remaining work starts
+  now: ``max(0, now + RPT − arrival − runtime)``.
+* ``current_yields`` — Eq. 1 evaluated at those delays (with the
+  penalty floor applied).
+* ``decay_horizons`` — per task, how much longer its value function can
+  keep decaying (``inf`` for unbounded penalties; 0 once expired).  This
+  is the ``expire_j`` term of Eq. 4.
+* ``effective_decay`` — the decay rate with expired tasks zeroed:
+  "once a task has expired it may be deferred to the end of the schedule
+  with no further cost" (§5.3).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PoolColumns:
+    """Structure-of-arrays view over pending tasks.
+
+    All arrays share one index space; ``remaining`` is the paper's RPT
+    (differs from ``runtime`` only for preempted tasks).
+    """
+
+    arrival: np.ndarray
+    runtime: np.ndarray
+    remaining: np.ndarray
+    value: np.ndarray
+    decay: np.ndarray
+    bound: np.ndarray  # penalty bound; inf = unbounded
+
+    def __len__(self) -> int:
+        return len(self.arrival)
+
+    @classmethod
+    def empty(cls) -> "PoolColumns":
+        z = np.empty(0)
+        return cls(z, z, z, z, z, z)
+
+    def append(self, arrival, runtime, remaining, value, decay, bound) -> "PoolColumns":
+        """A new view with one extra row (used for candidate-schedule probes)."""
+        return PoolColumns(
+            np.append(self.arrival, arrival),
+            np.append(self.runtime, runtime),
+            np.append(self.remaining, remaining),
+            np.append(self.value, value),
+            np.append(self.decay, decay),
+            np.append(self.bound, bound),
+        )
+
+    @classmethod
+    def concat(cls, first: "PoolColumns", second: "PoolColumns") -> "PoolColumns":
+        """Stack two views; rows of *first* keep their indices.
+
+        Used by the preemption pass to score pending and running tasks in
+        a single space — heuristics with competitor-dependent terms
+        (FirstReward's opportunity cost) are only comparable when both
+        sets are scored against the same competitor population.
+        """
+        return cls(
+            np.concatenate([first.arrival, second.arrival]),
+            np.concatenate([first.runtime, second.runtime]),
+            np.concatenate([first.remaining, second.remaining]),
+            np.concatenate([first.value, second.value]),
+            np.concatenate([first.decay, second.decay]),
+            np.concatenate([first.bound, second.bound]),
+        )
+
+
+#: Smallest RPT used as a unit-gain denominator.  A task can legitimately
+#: have zero remaining time (its completion event is due at this very
+#: instant, e.g. during a same-timestamp preemption pass); clamping keeps
+#: its unit gain finite and enormous — it is almost-free to finish.
+MIN_REMAINING = 1e-9
+
+
+def unit_denominator(cols: PoolColumns) -> np.ndarray:
+    """RPT clamped away from zero for per-unit-of-time scores."""
+    return np.maximum(cols.remaining, MIN_REMAINING)
+
+
+def current_delays(cols: PoolColumns, now: float) -> np.ndarray:
+    """Expected delay of each task if its remaining work started *now* (Eq. 2)."""
+    return np.maximum(0.0, now + cols.remaining - cols.arrival - cols.runtime)
+
+
+def current_yields(cols: PoolColumns, now: float) -> np.ndarray:
+    """Expected yield of each task if started now (Eq. 1 with penalty floor)."""
+    raw = cols.value - current_delays(cols, now) * cols.decay
+    return np.maximum(raw, -cols.bound)
+
+
+def decay_horizons(cols: PoolColumns, now: float) -> np.ndarray:
+    """Remaining decay time per task, measured from *now* (Eq. 4's expire term).
+
+    A bounded task stops decaying once its delay reaches
+    ``(value + bound)/decay``; the horizon is how much further delay can
+    still cost anything.  Unbounded tasks return ``inf``; zero-decay
+    tasks return 0 (delay never costs anything).
+    """
+    delays = current_delays(cols, now)
+    # inf horizons (bound=inf) and overflow for vanishing decay rates are
+    # both semantically "effectively never expires"
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        expiration = np.where(
+            cols.decay > 0.0,
+            (cols.value + cols.bound) / cols.decay,
+            0.0,
+        )
+    # unbounded (bound=inf) with positive decay -> infinite horizon
+    return np.maximum(0.0, expiration - delays)
+
+
+def effective_decay(cols: PoolColumns, now: float) -> np.ndarray:
+    """Decay rates with expired tasks zeroed (they cost nothing to defer)."""
+    return np.where(decay_horizons(cols, now) > 0.0, cols.decay, 0.0)
+
+
+class SchedulingHeuristic(abc.ABC):
+    """Assigns priority scores to pending tasks; higher runs first.
+
+    Scores are recomputed at every scheduling event (arrival, completion,
+    preemption) because yields decay with the clock.
+    """
+
+    #: short identifier used by the registry and experiment configs
+    name: str = "heuristic"
+
+    @abc.abstractmethod
+    def scores(self, cols: PoolColumns, now: float) -> np.ndarray:
+        """Score vector aligned with *cols*; higher = dispatch first."""
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,54 @@
+"""Candidate-schedule projection (§6).
+
+Given pending tasks in heuristic priority order and the times at which
+each of the site's processors next becomes free, project the expected
+start time of every pending task under list scheduling: each successive
+task goes to the earliest-free processor.  This is the "candidate
+schedule" the paper's sites maintain to quote expected completion times
+in server bids and to compute admission-control slack.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import SchedulingError
+
+
+def project_start_times(
+    remaining_in_order: Sequence[float],
+    free_times: Sequence[float],
+) -> np.ndarray:
+    """Expected start times for tasks dispatched in the given order.
+
+    Parameters
+    ----------
+    remaining_in_order:
+        RPT of each pending task, already sorted by dispatch priority
+        (highest first).
+    free_times:
+        One entry per processor: the time it next becomes free (``now``
+        if idle, the running task's completion time otherwise).
+
+    Returns
+    -------
+    Array of start times aligned with ``remaining_in_order``.  Start
+    times are non-decreasing in list position for a single processor but
+    not necessarily across processors; completion of entry *k* is
+    ``start[k] + remaining_in_order[k]``.
+    """
+    if len(free_times) == 0:
+        raise SchedulingError("project_start_times requires at least one processor")
+    heap = [float(t) for t in free_times]
+    heapq.heapify(heap)
+    starts = np.empty(len(remaining_in_order))
+    for pos, rpt in enumerate(remaining_in_order):
+        if rpt < 0:
+            raise SchedulingError(f"negative RPT {rpt!r} at position {pos}")
+        t = heapq.heappop(heap)
+        starts[pos] = t
+        heapq.heappush(heap, t + float(rpt))
+    return starts

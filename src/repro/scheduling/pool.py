@@ -1,0 +1,115 @@
+"""The pending-task pool: Task objects plus cached SoA columns.
+
+The site engine holds queued tasks here.  Heuristic scoring operates on
+the pool's :class:`~repro.scheduling.base.PoolColumns`; the columns are
+rebuilt lazily after any mutation (add/remove), which keeps the common
+case — several score computations between mutations — allocation-free.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.errors import SchedulingError
+from repro.scheduling.base import PoolColumns
+from repro.tasks.task import Task
+
+
+class PendingPool:
+    """Mutable set of queued tasks with vectorized column access."""
+
+    __slots__ = ("_tasks", "_columns", "_multi_node")
+
+    def __init__(self) -> None:
+        self._tasks: list[Task] = []
+        self._columns: Optional[PoolColumns] = None
+        self._multi_node = 0  # queued tasks with demand > 1
+
+    # ------------------------------------------------------------------
+    def add(self, task: Task) -> None:
+        self._tasks.append(task)
+        if task.demand > 1:
+            self._multi_node += 1
+        self._columns = None
+
+    def remove_at(self, index: int) -> Task:
+        """Remove and return the task at *index* (column index space)."""
+        if not 0 <= index < len(self._tasks):
+            raise SchedulingError(f"pool index {index} out of range (n={len(self._tasks)})")
+        task = self._tasks.pop(index)
+        if task.demand > 1:
+            self._multi_node -= 1
+        self._columns = None
+        return task
+
+    def remove(self, task: Task) -> None:
+        try:
+            self._tasks.remove(task)
+        except ValueError:
+            raise SchedulingError(f"task {task.tid} is not in the pool") from None
+        if task.demand > 1:
+            self._multi_node -= 1
+        self._columns = None
+
+    @property
+    def has_multi_node(self) -> bool:
+        """True when any queued task gang-schedules more than one node.
+
+        The dispatch loop uses this to keep the common single-node case
+        on the O(n) argmax path instead of a full sort."""
+        return self._multi_node > 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __bool__(self) -> bool:
+        return bool(self._tasks)
+
+    def __iter__(self) -> Iterator[Task]:
+        return iter(self._tasks)
+
+    def __contains__(self, task: Task) -> bool:
+        return task in self._tasks
+
+    def task_at(self, index: int) -> Task:
+        return self._tasks[index]
+
+    @property
+    def tasks(self) -> list[Task]:
+        """Snapshot list of pooled tasks (copy; safe to mutate)."""
+        return list(self._tasks)
+
+    # ------------------------------------------------------------------
+    def columns(self) -> PoolColumns:
+        """SoA view aligned with the pool's current order.
+
+        Rebuilt only after mutations.  ``remaining`` is captured at
+        rebuild time — correct because a queued task's RPT only changes
+        through preemption, which re-adds it (a mutation).
+
+        The view carries the scheduler's *believed* quantities: the
+        declared estimate and the estimated remaining time.  With
+        accurate predictions (the paper's assumption) these equal the
+        true runtime/RPT; under the misestimation extension the engine
+        must not see ground truth.
+        """
+        if self._columns is None:
+            n = len(self._tasks)
+            arrival = np.empty(n)
+            runtime = np.empty(n)
+            remaining = np.empty(n)
+            value = np.empty(n)
+            decay = np.empty(n)
+            bound = np.empty(n)
+            for i, t in enumerate(self._tasks):
+                arrival[i] = t.arrival
+                runtime[i] = t.estimate
+                remaining[i] = t.estimated_remaining
+                value[i] = t.value
+                decay[i] = t.decay
+                bound[i] = t.bound
+            self._columns = PoolColumns(arrival, runtime, remaining, value, decay, bound)
+        return self._columns

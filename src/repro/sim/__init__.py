@@ -1,0 +1,59 @@
+"""Discrete-event simulation substrate.
+
+The paper's evaluation is a discrete-event simulation of a bidding and
+task-service economy (§4.1).  This subpackage is a self-contained DES
+kernel built for that purpose — no external simulation framework is used.
+
+Layers, lowest to highest:
+
+* :mod:`repro.sim.events` / :mod:`repro.sim.queue` — timestamped events
+  and a heap-ordered pending-event set with O(log n) insert/pop and lazy
+  cancellation.
+* :mod:`repro.sim.kernel` — the :class:`Simulator`: clock, scheduling
+  primitives, run loop, monitors.
+* :mod:`repro.sim.process` — generator-based cooperative processes
+  (``yield Timeout(d)`` style) for protocol-flavoured code such as the
+  market negotiation layer.
+* :mod:`repro.sim.resources` — counted resources and object stores built
+  on processes, used by examples and the multi-site economy.
+* :mod:`repro.sim.rng` — named, independently-seeded random streams so
+  experiments are reproducible and components draw from decoupled
+  streams.
+* :mod:`repro.sim.trace` — structured event tracing for debugging and
+  for the test suite's observability hooks.
+"""
+
+from repro.sim.events import Event, EventState
+from repro.sim.kernel import Simulator
+from repro.sim.process import (
+    AllOf,
+    AnyOf,
+    Interrupt,
+    Process,
+    ProcessExit,
+    Signal,
+    Timeout,
+)
+from repro.sim.queue import EventQueue
+from repro.sim.resources import Resource, Store
+from repro.sim.rng import RandomStreams
+from repro.sim.trace import SimTrace, TraceRecord
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "EventQueue",
+    "EventState",
+    "Interrupt",
+    "Process",
+    "ProcessExit",
+    "RandomStreams",
+    "Resource",
+    "Signal",
+    "SimTrace",
+    "Simulator",
+    "Store",
+    "Timeout",
+    "TraceRecord",
+]

@@ -1,0 +1,164 @@
+"""The simulation kernel.
+
+:class:`Simulator` owns the clock and the pending-event set and exposes
+the scheduling primitives the rest of the library is built on.  It is a
+classic event-driven kernel: ``run`` repeatedly pops the earliest event,
+advances the clock to its timestamp, and invokes its callback.  Callbacks
+may schedule further events; time never moves backwards.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+from repro.sim.events import Event, EventState
+from repro.sim.queue import EventQueue
+from repro.sim.trace import SimTrace
+
+
+class Simulator:
+    """Event-driven discrete-event simulator.
+
+    Parameters
+    ----------
+    start:
+        Initial clock value (default 0.0).
+    trace:
+        Optional :class:`~repro.sim.trace.SimTrace` that records every
+        fired event; cheap to leave off (the default) for production runs.
+
+    Example
+    -------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(5.0, fired.append, "hello")
+    >>> sim.run()
+    >>> (sim.now, fired)
+    (5.0, ['hello'])
+    """
+
+    def __init__(self, start: float = 0.0, trace: Optional[SimTrace] = None) -> None:
+        self.now = float(start)
+        self._queue = EventQueue()
+        self._trace = trace
+        self._running = False
+        self._stopped = False
+        self.events_fired = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling primitives
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+        tag: Optional[str] = None,
+        daemon: bool = False,
+    ) -> Event:
+        """Schedule ``callback(*args)`` to run *delay* time units from now.
+
+        ``daemon=True`` marks housekeeping events (periodic recharges,
+        monitors) that should not keep :meth:`run` alive on their own.
+        """
+        return self.schedule_at(
+            self.now + delay, callback, *args, priority=priority, tag=tag, daemon=daemon
+        )
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+        tag: Optional[str] = None,
+        daemon: bool = False,
+    ) -> Event:
+        """Schedule ``callback(*args)`` at absolute simulated *time*."""
+        if math.isnan(time):
+            raise SimulationError("cannot schedule event at NaN time")
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule event in the past: t={time!r} < now={self.now!r}"
+            )
+        event = Event(time, callback, args, priority=priority, tag=tag, daemon=daemon)
+        return self._queue.push(event)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a pending event (error if it already fired/was cancelled)."""
+        self._queue.cancel(event)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> Event:
+        """Fire exactly one event, advancing the clock to its timestamp."""
+        event = self._queue.pop()
+        assert event.time >= self.now, "event queue returned an event in the past"
+        self.now = event.time
+        event.state = EventState.FIRED
+        self.events_fired += 1
+        if self._trace is not None:
+            self._trace.record(self.now, "fire", event.tag, event)
+        event.callback(*event.args)
+        return event
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run until the event set drains, *until* is reached, or *max_events* fire.
+
+        With ``until`` set, the clock is advanced to exactly ``until`` on
+        return (if the simulation drained earlier, the clock still ends at
+        ``until``), matching the convention that a bounded run represents
+        the full interval.  Daemon events fire while essential work
+        remains but never keep the run alive by themselves; with
+        ``until`` set, daemons within the horizon do fire.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run call)")
+        self._running = True
+        self._stopped = False
+        fired = 0
+        try:
+            while self._queue and not self._stopped:
+                if until is None and self._queue.essential_count == 0:
+                    # only daemon housekeeping remains: let daemons at the
+                    # current instant run (e.g. a monitor sampling the
+                    # final state), then stop
+                    head = self._queue.peek()
+                    if head is None or head.time > self.now:
+                        break
+                next_time = self._queue.next_time()
+                assert next_time is not None
+                if until is not None and next_time > until:
+                    break
+                self.step()
+                fired += 1
+                if max_events is not None and fired >= max_events:
+                    break
+        finally:
+            self._running = False
+        if until is not None and not self._stopped and self.now < until:
+            self.now = float(until)
+
+    def stop(self) -> None:
+        """Request that :meth:`run` return after the current event."""
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def pending_count(self) -> int:
+        """Number of live scheduled events."""
+        return len(self._queue)
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next event, or None when the queue is empty."""
+        return self._queue.next_time()
+
+    @property
+    def trace(self) -> Optional[SimTrace]:
+        return self._trace

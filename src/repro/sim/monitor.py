@@ -1,0 +1,106 @@
+"""Periodic samplers: time series of arbitrary probes during a run.
+
+A :class:`PeriodicMonitor` fires as a daemon event every ``interval``
+and records the value of each registered probe (any zero-argument
+callable).  Because the events are daemons, a monitor never keeps the
+simulation alive — it observes the run, it doesn't extend it.
+
+Example
+-------
+>>> from repro.sim import Simulator
+>>> from repro.sim.monitor import PeriodicMonitor
+>>> sim = Simulator()
+>>> counter = {"n": 0}
+>>> def bump(): counter["n"] += 1
+>>> for t in (1.0, 2.0, 3.0, 4.0):
+...     _ = sim.schedule(t, bump)
+>>> monitor = PeriodicMonitor(sim, interval=1.0, probes={"n": lambda: counter["n"]})
+>>> sim.run()
+>>> monitor.series("n")
+[(1.0, 1), (2.0, 2), (3.0, 3), (4.0, 4)]
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Optional
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.sim.kernel import Simulator
+
+Probe = Callable[[], float]
+
+
+class PeriodicMonitor:
+    """Samples named probes every *interval* time units (daemon events).
+
+    Samples are taken with event priority 1 so that, at a shared
+    timestamp, the sample observes the state *after* ordinary events at
+    that time have fired.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval: float,
+        probes: Mapping[str, Probe],
+        start_delay: Optional[float] = None,
+    ) -> None:
+        if interval <= 0:
+            raise SimulationError(f"interval must be > 0, got {interval!r}")
+        if not probes:
+            raise SimulationError("monitor needs at least one probe")
+        self.sim = sim
+        self.interval = float(interval)
+        self.probes = dict(probes)
+        self._series: dict[str, list[tuple[float, float]]] = {
+            name: [] for name in self.probes
+        }
+        delay = self.interval if start_delay is None else start_delay
+        sim.schedule(delay, self._tick, priority=1, tag="monitor", daemon=True)
+
+    def _tick(self) -> None:
+        now = self.sim.now
+        for name, probe in self.probes.items():
+            self._series[name].append((now, probe()))
+        self.sim.schedule(self.interval, self._tick, priority=1, tag="monitor", daemon=True)
+
+    # ------------------------------------------------------------------
+    def series(self, name: str) -> list[tuple[float, float]]:
+        """The recorded ``(time, value)`` samples for one probe."""
+        if name not in self._series:
+            raise SimulationError(f"unknown probe {name!r}; have {sorted(self._series)}")
+        return list(self._series[name])
+
+    def values(self, name: str) -> np.ndarray:
+        return np.array([v for _, v in self.series(name)], dtype=float)
+
+    def stats(self, name: str) -> dict:
+        """Min/mean/max of one probe's samples (0s when never sampled)."""
+        values = self.values(name)
+        if values.size == 0:
+            return {"min": 0.0, "mean": 0.0, "max": 0.0, "samples": 0}
+        return {
+            "min": float(values.min()),
+            "mean": float(values.mean()),
+            "max": float(values.max()),
+            "samples": int(values.size),
+        }
+
+    @property
+    def sample_count(self) -> int:
+        return max((len(s) for s in self._series.values()), default=0)
+
+
+def monitor_site(site, interval: float) -> PeriodicMonitor:
+    """Convenience: track a site's queue length, busy nodes, and yield."""
+    return PeriodicMonitor(
+        site.sim,
+        interval=interval,
+        probes={
+            "queue_length": lambda: site.queue_length,
+            "busy_nodes": lambda: site.running_count,
+            "total_yield": lambda: site.ledger.total_yield,
+        },
+    )

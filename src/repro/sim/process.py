@@ -1,0 +1,360 @@
+"""Generator-based cooperative processes on top of the event kernel.
+
+A *process* wraps a Python generator.  Each ``yield`` hands the kernel a
+*waitable* describing what the process is waiting for; the process is
+resumed (the generator advanced) when the waitable completes, receiving
+the waitable's value as the result of the ``yield`` expression.
+
+Waitables
+---------
+:class:`Timeout`   — completes after a fixed delay, value = the delay.
+:class:`Signal`    — a broadcast condition; completes when fired, value =
+                     the fire payload.
+:class:`Process`   — joining another process; value = its return value.
+:class:`AllOf`     — completes when all children complete; value = list of
+                     child values in declaration order.
+:class:`AnyOf`     — completes when the first child completes; value =
+                     ``(index, value)`` of that child.
+
+Processes may be interrupted: :meth:`Process.interrupt` cancels the
+current wait and raises :class:`Interrupt` inside the generator at the
+point of the ``yield``.
+
+Example
+-------
+>>> from repro.sim import Simulator, Process, Timeout
+>>> sim = Simulator()
+>>> log = []
+>>> def worker():
+...     log.append(("start", sim.now))
+...     yield Timeout(3.0)
+...     log.append(("done", sim.now))
+...     return 42
+>>> p = Process(sim, worker())
+>>> sim.run()
+>>> (log, p.result)
+([('start', 0.0), ('done', 3.0)], 42)
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, Generator, Optional
+
+from repro.errors import ProcessError
+from repro.sim.kernel import Simulator
+
+# A waitable's subscribe returns a zero-argument unsubscribe callable.
+Unsubscribe = Callable[[], None]
+Callback = Callable[[Any], None]
+
+
+class Interrupt(Exception):
+    """Raised inside a process generator when it is interrupted.
+
+    The interrupt *cause* (an arbitrary object) is available as
+    ``exc.cause``.
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class ProcessExit(enum.Enum):
+    """Terminal states of a process."""
+
+    RUNNING = "running"
+    FINISHED = "finished"
+    FAILED = "failed"
+
+
+class Timeout:
+    """Waitable that completes ``delay`` time units after subscription."""
+
+    __slots__ = ("delay", "value")
+
+    def __init__(self, delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ProcessError(f"Timeout delay must be >= 0, got {delay!r}")
+        self.delay = float(delay)
+        self.value = value if value is not None else float(delay)
+
+    def subscribe(self, sim: Simulator, callback: Callback) -> Unsubscribe:
+        event = sim.schedule(self.delay, callback, self.value, tag="timeout")
+        return lambda: sim.cancel(event)
+
+
+class Signal:
+    """A broadcast condition variable.
+
+    Any number of processes may wait on a signal; :meth:`fire` resumes all
+    current waiters with the payload.  A signal can fire repeatedly; each
+    firing wakes only the processes waiting at that moment.
+    """
+
+    __slots__ = ("name", "_waiters", "fire_count")
+
+    def __init__(self, name: str = "signal") -> None:
+        self.name = name
+        self._waiters: list[Callback] = []
+        self.fire_count = 0
+
+    def subscribe(self, sim: Simulator, callback: Callback) -> Unsubscribe:
+        self._waiters.append(callback)
+
+        def unsubscribe() -> None:
+            try:
+                self._waiters.remove(callback)
+            except ValueError:
+                pass  # already consumed by a fire
+
+        return unsubscribe
+
+    def fire(self, payload: Any = None) -> int:
+        """Wake all current waiters; returns how many were woken."""
+        waiters, self._waiters = self._waiters, []
+        self.fire_count += 1
+        for callback in waiters:
+            callback(payload)
+        return len(waiters)
+
+    @property
+    def waiter_count(self) -> int:
+        return len(self._waiters)
+
+
+class AllOf:
+    """Waitable that completes when every child completes."""
+
+    __slots__ = ("children",)
+
+    def __init__(self, *children: Any) -> None:
+        if not children:
+            raise ProcessError("AllOf requires at least one child")
+        self.children = children
+
+    def subscribe(self, sim: Simulator, callback: Callback) -> Unsubscribe:
+        results: list[Any] = [None] * len(self.children)
+        remaining = len(self.children)
+        unsubs: list[Unsubscribe] = []
+        done = False
+
+        def make_child_cb(i: int) -> Callback:
+            def child_cb(value: Any) -> None:
+                nonlocal remaining, done
+                if done:
+                    return
+                if isinstance(value, BaseException):
+                    # a child failed: cancel the siblings and propagate
+                    done = True
+                    for j, unsub in enumerate(unsubs):
+                        if j != i:
+                            try:
+                                unsub()
+                            except Exception:
+                                pass
+                    callback(value)
+                    return
+                results[i] = value
+                remaining -= 1
+                if remaining == 0:
+                    done = True
+                    callback(list(results))
+
+            return child_cb
+
+        for i, child in enumerate(self.children):
+            unsubs.append(child.subscribe(sim, make_child_cb(i)))
+
+        def unsubscribe() -> None:
+            nonlocal done
+            done = True
+            for unsub in unsubs:
+                try:
+                    unsub()
+                except Exception:
+                    pass
+
+        return unsubscribe
+
+
+class AnyOf:
+    """Waitable that completes when the first child completes."""
+
+    __slots__ = ("children",)
+
+    def __init__(self, *children: Any) -> None:
+        if not children:
+            raise ProcessError("AnyOf requires at least one child")
+        self.children = children
+
+    def subscribe(self, sim: Simulator, callback: Callback) -> Unsubscribe:
+        unsubs: list[Unsubscribe] = []
+        done = False
+
+        def make_child_cb(i: int) -> Callback:
+            def child_cb(value: Any) -> None:
+                nonlocal done
+                if done:
+                    return
+                done = True
+                for j, unsub in enumerate(unsubs):
+                    if j != i:
+                        try:
+                            unsub()
+                        except Exception:
+                            pass
+                # a failing child wins the race as a failure (propagated,
+                # not wrapped in the (index, value) tuple)
+                callback(value if isinstance(value, BaseException) else (i, value))
+
+            return child_cb
+
+        for i, child in enumerate(self.children):
+            unsubs.append(child.subscribe(sim, make_child_cb(i)))
+            if done:
+                break  # a child completed synchronously during subscribe
+
+        def unsubscribe() -> None:
+            nonlocal done
+            done = True
+            for unsub in unsubs:
+                try:
+                    unsub()
+                except Exception:
+                    pass
+
+        return unsubscribe
+
+
+class Process:
+    """A cooperative process driving a generator.
+
+    The process is scheduled to take its first step immediately (at the
+    current simulated time, after already-pending events at that time).
+
+    A finished process is itself a waitable: waiting on it yields its
+    return value.  If the generator raised, joiners receive the exception
+    re-raised at their ``yield``; a failed process with no joiners
+    re-raises when the failure occurs so errors cannot pass silently.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        generator: Generator[Any, Any, Any],
+        name: Optional[str] = None,
+    ) -> None:
+        if not hasattr(generator, "send"):
+            raise ProcessError(
+                f"Process requires a generator, got {type(generator).__name__}; "
+                "did you call the function with ()?"
+            )
+        self.sim = sim
+        self.name = name or getattr(generator, "__name__", "process")
+        self._gen = generator
+        self.state = ProcessExit.RUNNING
+        self.result: Any = None
+        self.exception: Optional[BaseException] = None
+        self._unsubscribe: Optional[Unsubscribe] = None
+        self._joiners: list[Callback] = []
+        self._interrupt_pending: Optional[Interrupt] = None
+        sim.schedule(0.0, self._step, ("send", None), tag=f"proc:{self.name}:start")
+
+    # -- waitable protocol -------------------------------------------------
+    def subscribe(self, sim: Simulator, callback: Callback) -> Unsubscribe:
+        if self.state is ProcessExit.FINISHED:
+            callback(self.result)
+            return lambda: None
+        if self.state is ProcessExit.FAILED:
+            # deliver the stored failure into the late joiner (a callback
+            # receiving a BaseException means failure, by convention)
+            assert self.exception is not None
+            event = sim.schedule(
+                0.0, callback, self.exception, tag=f"proc:{self.name}:join-failed"
+            )
+            return lambda: sim.cancel(event)
+        self._joiners.append(callback)
+
+        def unsubscribe() -> None:
+            try:
+                self._joiners.remove(callback)
+            except ValueError:
+                pass
+
+        return unsubscribe
+
+    # -- lifecycle ----------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        return self.state is ProcessExit.RUNNING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Cancel the process's current wait and raise Interrupt inside it."""
+        if not self.alive:
+            raise ProcessError(f"cannot interrupt {self.state.value} process {self.name!r}")
+        if self._unsubscribe is not None:
+            self._unsubscribe()
+            self._unsubscribe = None
+        interrupt = Interrupt(cause)
+        # deliver asynchronously so interrupting from inside a callback is safe
+        self.sim.schedule(0.0, self._step, ("throw", interrupt), tag=f"proc:{self.name}:interrupt")
+
+    def _resume(self, value: Any) -> None:
+        self._unsubscribe = None
+        # by waitable convention, receiving an exception instance means the
+        # awaited thing failed: re-raise it at the yield
+        if isinstance(value, BaseException):
+            self._step(("throw", value))
+        else:
+            self._step(("send", value))
+
+    def _step(self, action: tuple[str, Any]) -> None:
+        if not self.alive:
+            return  # e.g. interrupted and finished before a stale resume fired
+        kind, payload = action
+        try:
+            if kind == "send":
+                waitable = self._gen.send(payload)
+            else:
+                waitable = self._gen.throw(payload)
+        except StopIteration as stop:
+            self._finish(getattr(stop, "value", None))
+            return
+        except Interrupt as exc:
+            self._fail(ProcessError(f"process {self.name!r} did not handle {exc!r}"))
+            return
+        except BaseException as exc:  # noqa: BLE001 - deliberate: routed to joiners
+            self._fail(exc)
+            return
+        if not hasattr(waitable, "subscribe"):
+            self._fail(
+                ProcessError(
+                    f"process {self.name!r} yielded non-waitable {waitable!r}; "
+                    "yield Timeout/Signal/Process/AllOf/AnyOf"
+                )
+            )
+            return
+        self._unsubscribe = waitable.subscribe(self.sim, self._resume)
+
+    def _finish(self, result: Any) -> None:
+        self.state = ProcessExit.FINISHED
+        self.result = result
+        joiners, self._joiners = self._joiners, []
+        for callback in joiners:
+            callback(result)
+
+    def _fail(self, exc: BaseException) -> None:
+        self.state = ProcessExit.FAILED
+        self.exception = exc
+        joiners, self._joiners = self._joiners, []
+        if not joiners:
+            raise exc
+        for callback in joiners:
+            # joiner callbacks (Process._resume or composite child hooks)
+            # treat an exception argument as a failure, by convention
+            callback(exc)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Process {self.name!r} {self.state.value}>"

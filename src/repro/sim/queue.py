@@ -1,0 +1,112 @@
+"""Heap-ordered pending-event set with lazy cancellation.
+
+The queue is a binary heap of :class:`~repro.sim.events.Event` objects.
+Cancellation marks the event and leaves it in the heap; cancelled entries
+are skipped (and discarded) on pop/peek.  This keeps both ``push`` and
+``cancel`` O(log n) / O(1) while preserving heap integrity — the standard
+technique for DES kernels and priority-queue based schedulers.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterator, Optional
+
+from repro.errors import SimulationError
+from repro.sim.events import Event, EventState
+
+
+class EventQueue:
+    """Priority queue of pending events ordered by ``(time, priority, seq)``."""
+
+    __slots__ = ("_heap", "_seq", "_live", "_essential")
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = 0
+        self._live = 0  # number of non-cancelled events in the heap
+        self._essential = 0  # live non-daemon events
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(self, event: Event) -> Event:
+        """Insert *event*, assigning its insertion sequence number."""
+        if not event.pending:
+            raise SimulationError(f"cannot enqueue non-pending event {event!r}")
+        event.seq = self._seq
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        if not event.daemon:
+            self._essential += 1
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Mark *event* cancelled; it will be skipped on pop.
+
+        Cancelling an already-cancelled or already-fired event is an
+        error: it almost always indicates a stale handle bug in the
+        caller.
+        """
+        if event.cancelled:
+            raise SimulationError(f"event already cancelled: {event!r}")
+        if event.fired:
+            raise SimulationError(f"event already fired: {event!r}")
+        event.state = EventState.CANCELLED
+        self._live -= 1
+        if not event.daemon:
+            self._essential -= 1
+
+    def _drop_cancelled_head(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+
+    def peek(self) -> Optional[Event]:
+        """The next event to fire, or None when empty (does not remove)."""
+        self._drop_cancelled_head()
+        return self._heap[0] if self._heap else None
+
+    def pop(self) -> Event:
+        """Remove and return the next pending event.
+
+        The returned event is still in state PENDING; the kernel marks it
+        FIRED when it actually runs the callback.
+        """
+        self._drop_cancelled_head()
+        if not self._heap:
+            raise SimulationError("pop from empty event queue")
+        event = heapq.heappop(self._heap)
+        self._live -= 1
+        if not event.daemon:
+            self._essential -= 1
+        return event
+
+    @property
+    def essential_count(self) -> int:
+        """Live non-daemon events — what keeps a simulation running."""
+        return self._essential
+
+    def next_time(self) -> Optional[float]:
+        """Fire time of the head event, or None when empty."""
+        head = self.peek()
+        return head.time if head is not None else None
+
+    def iter_pending(self) -> Iterator[Event]:
+        """Iterate over live events in arbitrary (heap) order.
+
+        Intended for introspection/tests, not for the hot path.
+        """
+        return (e for e in self._heap if e.pending)
+
+    def clear(self) -> None:
+        """Drop every event (pending ones are marked cancelled)."""
+        for event in self._heap:
+            if event.pending:
+                event.state = EventState.CANCELLED
+        self._heap.clear()
+        self._live = 0
+        self._essential = 0

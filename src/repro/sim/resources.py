@@ -1,0 +1,164 @@
+"""Counted resources and object stores for process-style simulation code.
+
+These primitives mirror the classic DES toolkit: a :class:`Resource` is a
+counted semaphore with a FIFO wait queue (think "pool of identical
+processors"); a :class:`Store` is an unbounded FIFO buffer of objects
+(think "message queue between market participants").
+
+Both integrate with the process layer through the waitable protocol — a
+process writes ``yield resource.request()`` or ``item = yield
+store.get()``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Optional
+
+from repro.errors import SimulationError
+from repro.sim.kernel import Simulator
+from repro.sim.process import Callback, Unsubscribe
+
+
+class _PendingRequest:
+    """Waitable handed out by Resource.request / Store.get."""
+
+    __slots__ = ("owner", "callback", "completed")
+
+    def __init__(self, owner: Any) -> None:
+        self.owner = owner
+        self.callback: Optional[Callback] = None
+        self.completed = False
+
+    def subscribe(self, sim: Simulator, callback: Callback) -> Unsubscribe:
+        if self.completed:
+            raise SimulationError("waitable already completed; do not reuse requests")
+        self.callback = callback
+        self.owner._on_subscribed(self)
+
+        def unsubscribe() -> None:
+            self.owner._withdraw(self)
+
+        return unsubscribe
+
+    def _complete(self, value: Any) -> None:
+        assert self.callback is not None
+        self.completed = True
+        callback, self.callback = self.callback, None
+        callback(value)
+
+
+class Resource:
+    """Counted resource with FIFO granting.
+
+    Parameters
+    ----------
+    sim:
+        The owning simulator.
+    capacity:
+        Number of units; ``request`` blocks while all are held.
+
+    Example
+    -------
+    >>> from repro.sim import Simulator, Process, Timeout
+    >>> sim = Simulator()
+    >>> cpu = Resource(sim, capacity=1)
+    >>> order = []
+    >>> def job(name, work):
+    ...     yield cpu.request()
+    ...     order.append((name, sim.now))
+    ...     yield Timeout(work)
+    ...     cpu.release()
+    >>> _ = Process(sim, job("a", 2.0)); _ = Process(sim, job("b", 1.0))
+    >>> sim.run()
+    >>> order
+    [('a', 0.0), ('b', 2.0)]
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise SimulationError(f"Resource capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.in_use = 0
+        self._waiting: Deque[_PendingRequest] = deque()
+
+    def request(self) -> _PendingRequest:
+        """Waitable that completes when a unit is granted (value: this resource)."""
+        return _PendingRequest(self)
+
+    def _on_subscribed(self, req: _PendingRequest) -> None:
+        if self.in_use < self.capacity and not self._waiting:
+            self.in_use += 1
+            req._complete(self)
+        else:
+            self._waiting.append(req)
+
+    def _withdraw(self, req: _PendingRequest) -> None:
+        try:
+            self._waiting.remove(req)
+        except ValueError:
+            pass
+
+    def release(self) -> None:
+        """Return one unit; grants the oldest waiter if any."""
+        if self.in_use <= 0:
+            raise SimulationError("release() without a matching grant")
+        if self._waiting:
+            req = self._waiting.popleft()
+            req._complete(self)  # unit transfers directly to the waiter
+        else:
+            self.in_use -= 1
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self.in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiting)
+
+
+class Store:
+    """Unbounded FIFO buffer of objects with blocking ``get``.
+
+    ``put`` never blocks; ``get`` returns a waitable completing with the
+    oldest item (immediately if one is buffered).
+    """
+
+    def __init__(self, sim: Simulator, name: str = "store") -> None:
+        self.sim = sim
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[_PendingRequest] = deque()
+
+    def put(self, item: Any) -> None:
+        """Deposit *item*; wakes the oldest blocked getter if any."""
+        if self._getters:
+            req = self._getters.popleft()
+            req._complete(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> _PendingRequest:
+        """Waitable completing with the oldest item."""
+        return _PendingRequest(self)
+
+    def _on_subscribed(self, req: _PendingRequest) -> None:
+        if self._items:
+            req._complete(self._items.popleft())
+        else:
+            self._getters.append(req)
+
+    def _withdraw(self, req: _PendingRequest) -> None:
+        try:
+            self._getters.remove(req)
+        except ValueError:
+            pass
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def getter_count(self) -> int:
+        return len(self._getters)

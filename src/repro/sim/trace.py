@@ -1,0 +1,96 @@
+"""Structured tracing of simulation activity.
+
+A :class:`SimTrace` is an append-only log of ``(time, kind, tag, payload)``
+records.  The kernel records every fired event when a trace is attached;
+higher layers (sites, markets) record domain events (task accepted, task
+preempted, contract signed, …) through the same object so a single
+chronological log captures a whole run.
+
+Tracing is strictly optional and costs nothing when disabled (the kernel
+holds ``None``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry."""
+
+    time: float
+    kind: str
+    tag: Optional[str]
+    payload: Any
+
+    def __str__(self) -> str:
+        tag = f" [{self.tag}]" if self.tag else ""
+        return f"{self.time:12.4f} {self.kind:<12}{tag} {self.payload!r}"
+
+
+class SimTrace:
+    """Append-only chronological record of simulation activity.
+
+    Parameters
+    ----------
+    capacity:
+        Optional cap on retained records; when exceeded, the *oldest*
+        records are dropped (ring-buffer behaviour) so long experiments
+        can keep a bounded tail for post-mortem inspection.
+    filter:
+        Optional predicate ``(kind, tag) -> bool``; records for which it
+        returns False are not stored.
+    """
+
+    def __init__(
+        self,
+        capacity: Optional[int] = None,
+        filter: Optional[Callable[[str, Optional[str]], bool]] = None,
+    ) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError("capacity must be positive or None")
+        self._records: list[TraceRecord] = []
+        self._capacity = capacity
+        self._filter = filter
+        self.dropped = 0
+
+    def record(self, time: float, kind: str, tag: Optional[str], payload: Any = None) -> None:
+        """Append a record (subject to the filter and capacity)."""
+        if self._filter is not None and not self._filter(kind, tag):
+            return
+        self._records.append(TraceRecord(time, kind, tag, payload))
+        if self._capacity is not None and len(self._records) > self._capacity:
+            overflow = len(self._records) - self._capacity
+            del self._records[:overflow]
+            self.dropped += overflow
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, index: int) -> TraceRecord:
+        return self._records[index]
+
+    def of_kind(self, kind: str) -> list[TraceRecord]:
+        """All retained records of the given kind, in time order."""
+        return [r for r in self._records if r.kind == kind]
+
+    def kinds(self) -> dict[str, int]:
+        """Histogram of record kinds."""
+        counts: dict[str, int] = {}
+        for r in self._records:
+            counts[r.kind] = counts.get(r.kind, 0) + 1
+        return counts
+
+    def clear(self) -> None:
+        self._records.clear()
+        self.dropped = 0
+
+    def dump(self, limit: Optional[int] = None) -> str:
+        """Human-readable rendering of the last *limit* records."""
+        records = self._records if limit is None else self._records[-limit:]
+        return "\n".join(str(r) for r in records)

@@ -1,0 +1,142 @@
+"""Slack-based admission control (§6, Eq. 7–8).
+
+For each proposed task the site (1) integrates it into the current
+candidate schedule according to its heuristic, (2) reads off the task's
+expected completion time and yield, and (3) computes the task's *slack* —
+"the amount of additional delay (beyond its place in the candidate
+schedule) that the task can incur before its reward falls below some
+yield threshold":
+
+    slack_i = (PV_i − cost_i) / decay_i                          (Eq. 7)
+    cost_i  = Σ_{j behind i} decay_j · runtime_i                 (Eq. 8)
+
+The acceptance policy rejects tasks whose slack falls below a
+configurable *slack threshold* (180 in Fig. 6; swept in Fig. 7).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import AdmissionError
+from repro.scheduling.base import effective_decay
+from repro.scheduling.candidate import project_start_times
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.site.service import TaskServiceSite
+    from repro.tasks.task import Task
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Everything the slack evaluation learned about a proposed task.
+
+    The market layer reuses this to fill in server bids (expected
+    completion and price); the site uses only ``accept``.
+    """
+
+    accept: bool
+    slack: float
+    expected_start: float
+    expected_completion: float
+    expected_delay: float
+    expected_yield: float
+    present_value: float
+    cost: float
+
+
+class SlackAdmission:
+    """The paper's acceptance heuristic.
+
+    Parameters
+    ----------
+    threshold:
+        Minimum slack (time units) a task must have to be accepted.
+        "Higher load requires a more risk-averse admission control
+        policy that applies a higher slack threshold" (§6).
+    discount_rate:
+        Present-value discount rate used for the task's expected gain.
+    """
+
+    def __init__(self, threshold: float = 180.0, discount_rate: float = 0.01) -> None:
+        if math.isnan(threshold):
+            raise AdmissionError("slack threshold must not be NaN")
+        if not discount_rate >= 0:
+            raise AdmissionError(f"discount_rate must be >= 0, got {discount_rate!r}")
+        self.threshold = float(threshold)
+        self.discount_rate = float(discount_rate)
+
+    def evaluate(self, site: "TaskServiceSite", task: "Task") -> AdmissionDecision:
+        """Probe the candidate schedule with *task* added; no state changes."""
+        if task.demand > 1:
+            raise AdmissionError(
+                "slack admission projects single-node candidate schedules; "
+                "multi-node tasks are only supported without admission control"
+            )
+        now = site.sim.now
+        # everything below works on declared quantities — the site cannot
+        # see true runtimes when they are misestimated
+        cols = site.pool.columns().append(
+            task.arrival, task.estimate, task.estimated_remaining,
+            task.value, task.decay, task.bound,
+        )
+        candidate_index = len(cols) - 1
+
+        scores = site.heuristic.scores(cols, now)
+        order = np.argsort(-scores, kind="stable")
+        starts = project_start_times(cols.remaining[order], site.processors.free_times(now))
+
+        position = int(np.nonzero(order == candidate_index)[0][0])
+        expected_start = float(starts[position])
+        expected_completion = expected_start + task.estimated_remaining
+        expected_delay = max(0.0, expected_completion - task.arrival - task.estimate)
+        expected_yield = task.vf.yield_at(expected_delay)
+        pv = expected_yield / (1.0 + self.discount_rate * task.estimated_remaining)
+
+        # Eq. 8: the new task pushes back everything ordered behind it by
+        # (roughly) its own runtime; expired tasks cost nothing (d_eff=0).
+        behind = order[position + 1 :]
+        d_eff = effective_decay(cols, now)
+        cost = float(task.estimate * d_eff[behind].sum())
+
+        if task.decay > 0:
+            slack = (pv - cost) / task.decay
+        else:
+            # a task that never decays has unlimited slack: accepting it
+            # can never trigger its own penalty
+            slack = math.inf if pv - cost >= 0 else -math.inf
+
+        return AdmissionDecision(
+            accept=bool(slack >= self.threshold),
+            slack=slack,
+            expected_start=expected_start,
+            expected_completion=expected_completion,
+            expected_delay=expected_delay,
+            expected_yield=expected_yield,
+            present_value=pv,
+            cost=cost,
+        )
+
+    def __repr__(self) -> str:
+        return f"<SlackAdmission threshold={self.threshold:g} r={self.discount_rate:g}>"
+
+
+class AcceptAll:
+    """Null admission policy: every task is accepted (Section 5 mode).
+
+    Provides the same ``evaluate`` shape so the market layer can quote
+    expected completions even on sites without admission control.
+    """
+
+    def __init__(self, discount_rate: float = 0.01) -> None:
+        self._slack = SlackAdmission(threshold=-math.inf, discount_rate=discount_rate)
+
+    def evaluate(self, site: "TaskServiceSite", task: "Task") -> AdmissionDecision:
+        return self._slack.evaluate(site, task)
+
+    def __repr__(self) -> str:
+        return "<AcceptAll>"

@@ -1,0 +1,92 @@
+"""Site policy presets: the paper's experimental configurations as bundles.
+
+Each preset captures one of the paper's operating modes so experiments,
+examples, and downstream users configure sites the same way the paper
+does, by name:
+
+* :func:`millennium_policy` — §5.1 / Fig. 3: PV scheduling, preemption
+  on, run-all (no admission control), bounded penalties expected.
+* :func:`run_all_policy` — §5.3 / Figs. 4–5: FirstReward, no admission
+  ("the scheduler must run all tasks").
+* :func:`economy_policy` — §6 / Figs. 6–7: FirstReward with slack
+  admission control.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.scheduling.base import SchedulingHeuristic
+from repro.scheduling.firstreward import FirstReward
+from repro.scheduling.presentvalue import PresentValue
+from repro.sim.kernel import Simulator
+from repro.site.admission import SlackAdmission
+from repro.site.service import TaskServiceSite
+
+
+@dataclass(frozen=True)
+class SitePolicy:
+    """Everything needed to configure a TaskServiceSite, minus capacity."""
+
+    heuristic: SchedulingHeuristic
+    admission: Optional[SlackAdmission] = None
+    preemption: bool = False
+    discard_expired: bool = False
+    name: str = "policy"
+
+    def build(self, sim: Simulator, processors: int, site_id: Optional[str] = None) -> TaskServiceSite:
+        """Instantiate a site running this policy."""
+        return TaskServiceSite(
+            sim,
+            processors=processors,
+            heuristic=self.heuristic,
+            admission=self.admission,
+            preemption=self.preemption,
+            discard_expired=self.discard_expired,
+            site_id=site_id or self.name,
+        )
+
+    def with_admission(self, admission: Optional[SlackAdmission]) -> "SitePolicy":
+        return replace(self, admission=admission)
+
+    def describe(self) -> str:
+        parts = [f"heuristic={self.heuristic.name}"]
+        parts.append(f"admission={'none' if self.admission is None else self.admission}")
+        if self.preemption:
+            parts.append("preemption")
+        if self.discard_expired:
+            parts.append("discard-expired")
+        return f"{self.name}: " + ", ".join(parts)
+
+
+def millennium_policy(discount_rate: float = 0.01) -> SitePolicy:
+    """Fig. 3's configuration: PV scheduling with preemption, run-all."""
+    return SitePolicy(
+        heuristic=PresentValue(discount_rate),
+        admission=None,
+        preemption=True,
+        name="millennium",
+    )
+
+
+def run_all_policy(alpha: float = 0.3, discount_rate: float = 0.01) -> SitePolicy:
+    """§5's constrained mode: FirstReward ordering but every task runs."""
+    return SitePolicy(
+        heuristic=FirstReward(alpha, discount_rate),
+        admission=None,
+        name="run-all",
+    )
+
+
+def economy_policy(
+    alpha: float = 0.3,
+    discount_rate: float = 0.01,
+    slack_threshold: float = 180.0,
+) -> SitePolicy:
+    """§6's market mode: FirstReward plus slack admission control."""
+    return SitePolicy(
+        heuristic=FirstReward(alpha, discount_rate),
+        admission=SlackAdmission(slack_threshold, discount_rate),
+        name="economy",
+    )

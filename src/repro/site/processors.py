@@ -1,0 +1,188 @@
+"""Processor bookkeeping for a site.
+
+The paper's model (§4): "processors or nodes within each grid site are
+interchangeable", tasks are gang-scheduled on their full request (1 node
+in every experiment), and context-switch times are negligible.  The pool
+tracks which node runs which task, each node's next-free time, and
+cumulative busy time for utilization reporting.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import SchedulingError
+from repro.tasks.task import Task
+
+
+class ProcessorPool:
+    """Fixed set of interchangeable nodes."""
+
+    __slots__ = (
+        "count",
+        "_task_of",
+        "_completion_of",
+        "_busy_since",
+        "_busy_accum",
+        "_node_ids",
+        "_next_node_id",
+    )
+
+    def __init__(self, count: int) -> None:
+        if count < 1:
+            raise SchedulingError(f"processor count must be >= 1, got {count}")
+        self.count = count
+        self._task_of: list[Optional[Task]] = [None] * count
+        self._completion_of: list[float] = [0.0] * count
+        self._busy_since: list[float] = [0.0] * count
+        self._busy_accum = 0.0
+        # stable node identities: slots shift when an elastic pool
+        # shrinks, so observers must key on these, not positions
+        self._node_ids: list[int] = list(range(count))
+        self._next_node_id = count
+
+    # ------------------------------------------------------------------
+    @property
+    def free_count(self) -> int:
+        return sum(1 for t in self._task_of if t is None)
+
+    @property
+    def busy_count(self) -> int:
+        return self.count - self.free_count
+
+    @property
+    def running_tasks(self) -> list[Task]:
+        return [t for t in self._task_of if t is not None]
+
+    def slot_of(self, task: Task) -> int:
+        for i, t in enumerate(self._task_of):
+            if t is task:
+                return i
+        raise SchedulingError(f"task {task.tid} is not running on any node")
+
+    def slots_of(self, task: Task) -> list[int]:
+        """All slots held by *task* (gang-scheduled tasks hold several)."""
+        slots = [i for i, t in enumerate(self._task_of) if t is task]
+        if not slots:
+            raise SchedulingError(f"task {task.tid} is not running on any node")
+        return slots
+
+    def completion_time_of(self, task: Task) -> float:
+        return self._completion_of[self.slot_of(task)]
+
+    def node_id_of(self, task: Task) -> int:
+        """Stable identity of the (first) node running *task* (survives shrink)."""
+        return self._node_ids[self.slot_of(task)]
+
+    def node_ids_of(self, task: Task) -> list[int]:
+        """Stable identities of every node in *task*'s gang."""
+        return [self._node_ids[i] for i in self.slots_of(task)]
+
+    # ------------------------------------------------------------------
+    def assign(self, task: Task, now: float, completion: float) -> int:
+        """Gang-schedule *task* on ``task.demand`` free nodes (§4: "jobs
+        are always gang-scheduled ... with the requested number of
+        processors").  Returns the first slot index."""
+        free = [i for i, t in enumerate(self._task_of) if t is None]
+        if len(free) < task.demand:
+            raise SchedulingError(
+                f"task {task.tid} needs {task.demand} nodes, only {len(free)} free"
+            )
+        for i in free[: task.demand]:
+            self._task_of[i] = task
+            self._completion_of[i] = completion
+            self._busy_since[i] = now
+        return free[0]
+
+    def vacate(self, task: Task, now: float) -> int:
+        """Remove *task* from every node it holds (completion or preemption)."""
+        slots = self.slots_of(task)
+        for i in slots:
+            self._task_of[i] = None
+            self._busy_accum += now - self._busy_since[i]
+        return slots[0]
+
+    # ------------------------------------------------------------------
+    # Elastic capacity (the §7 resource-market direction): a site leasing
+    # nodes from a resource provider grows and shrinks its pool.
+    # ------------------------------------------------------------------
+    def grow(self, count: int) -> None:
+        """Add *count* idle nodes."""
+        if count < 0:
+            raise SchedulingError(f"grow count must be >= 0, got {count}")
+        self._task_of.extend([None] * count)
+        self._completion_of.extend([0.0] * count)
+        self._busy_since.extend([0.0] * count)
+        self._node_ids.extend(
+            range(self._next_node_id, self._next_node_id + count)
+        )
+        self._next_node_id += count
+        self.count += count
+
+    def shrink_idle(self, count: int) -> int:
+        """Remove up to *count* idle nodes; returns how many were removed.
+
+        Busy nodes are never revoked — a lessor wanting them back must
+        wait for (or preempt) the running work first.  At least one node
+        always remains.
+        """
+        if count < 0:
+            raise SchedulingError(f"shrink count must be >= 0, got {count}")
+        removed = 0
+        i = len(self._task_of) - 1
+        while removed < count and i >= 0 and self.count - removed > 1:
+            if self._task_of[i] is None:
+                del self._task_of[i]
+                del self._completion_of[i]
+                del self._busy_since[i]
+                del self._node_ids[i]
+                removed += 1
+            i -= 1
+        self.count -= removed
+        return removed
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _believed_remaining(task: Task, now: float) -> float:
+        """The scheduler's estimate of a running task's remaining time.
+
+        Derived from the declared estimate, not the true completion —
+        with accurate predictions they coincide; under runtime
+        misestimation the engine must plan on what it was told.
+        """
+        assert task.last_start is not None
+        return max(0.0, task.estimated_remaining - (now - task.last_start))
+
+    def free_times(self, now: float) -> np.ndarray:
+        """Per-node next-free time as the scheduler believes it: *now*
+        for idle nodes, now + the running task's estimated remaining time
+        otherwise.  Seed state of every candidate-schedule projection."""
+        return np.array(
+            [
+                now if t is None else now + self._believed_remaining(t, now)
+                for t in self._task_of
+            ]
+        )
+
+    def remaining_times(self, now: float) -> dict[Task, float]:
+        """Believed RPT of each running task, measured from *now*."""
+        return {
+            t: self._believed_remaining(t, now)
+            for t in self._task_of
+            if t is not None
+        }
+
+    def utilization(self, now: float, since: float = 0.0) -> float:
+        """Fraction of node-time spent busy over [since, now]."""
+        horizon = (now - since) * self.count
+        if horizon <= 0:
+            return 0.0
+        busy = self._busy_accum + sum(
+            now - max(s, since)
+            for t, s in zip(self._task_of, self._busy_since)
+            if t is not None
+        )
+        return min(1.0, busy / horizon)

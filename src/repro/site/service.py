@@ -1,0 +1,289 @@
+"""The task-service site engine.
+
+Event flow:
+
+* ``submit(task)`` — runs admission control (if configured); accepted
+  tasks enter the pending pool and trigger a scheduling pass.
+* scheduling pass — dispatches the highest-scored pending tasks onto
+  free nodes; with preemption enabled, a pending task whose score beats
+  a running task's score evicts it ("once the system starts a task, it
+  runs to completion unless preemption is enabled and a higher-priority
+  task arrives to preempt it", §4).
+* completion events — credit the realized yield and trigger another
+  pass; optionally, expired tasks (bounded penalties, value at the
+  floor) are discarded, matching Millennium's free-discard semantics.
+
+All scoring is vectorized over the pending pool's columns.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import SchedulingError
+from repro.scheduling.base import PoolColumns, SchedulingHeuristic, decay_horizons
+from repro.scheduling.pool import PendingPool
+from repro.sim.events import Event
+from repro.sim.kernel import Simulator
+from repro.site.accounting import YieldLedger
+from repro.site.admission import AdmissionDecision
+from repro.site.processors import ProcessorPool
+from repro.tasks.task import Task
+
+#: Relative margin a pending task's score must exceed a running task's
+#: score by to trigger preemption — prevents swap thrash on ties.
+_PREEMPT_EPS = 1e-9
+
+
+class TaskServiceSite:
+    """A grid site selling a batch task service.
+
+    Parameters
+    ----------
+    sim:
+        The simulation kernel the site lives on.
+    processors:
+        Number of interchangeable nodes.
+    heuristic:
+        Scheduling heuristic ordering the pending pool.
+    admission:
+        Optional admission policy (an object with
+        ``evaluate(site, task) -> AdmissionDecision``); ``None`` accepts
+        every task (the Section 5 "must run all tasks" mode).
+    preemption:
+        Allow running tasks to be preempted by higher-scored arrivals.
+    discard_expired:
+        Cancel queued tasks whose value function has hit its floor
+        (bounded penalties only) instead of ever running them.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        processors: int,
+        heuristic: SchedulingHeuristic,
+        admission=None,
+        preemption: bool = False,
+        discard_expired: bool = False,
+        site_id: str = "site",
+        ledger: Optional[YieldLedger] = None,
+    ) -> None:
+        self.sim = sim
+        self.site_id = site_id
+        self.heuristic = heuristic
+        self.admission = admission
+        self.preemption = preemption
+        self.discard_expired = discard_expired
+        self.processors = ProcessorPool(processors)
+        self.pool = PendingPool()
+        self.ledger = ledger if ledger is not None else YieldLedger()
+        self._completion_events: dict[int, Event] = {}  # tid -> event
+        #: callbacks invoked with each task that reaches COMPLETED or
+        #: CANCELLED — the market layer settles contracts through these
+        self.finish_listeners: list = []
+        #: observability hooks: called as fn(task) at dispatch/preemption.
+        #: The analysis layer builds execution timelines from these.
+        self.start_listeners: list = []
+        self.preempt_listeners: list = []
+
+    # ------------------------------------------------------------------
+    # Submission / admission
+    # ------------------------------------------------------------------
+    def submit(self, task: Task, force: bool = False) -> Optional[AdmissionDecision]:
+        """Offer *task* to the site at the current simulated time.
+
+        Returns the admission decision (None when the site runs without
+        admission control and accepted unconditionally).  With
+        ``force=True`` admission control is bypassed — used by the market
+        layer when a contract has already been negotiated.
+        """
+        now = self.sim.now
+        if task.arrival > now + 1e-9:
+            raise SchedulingError(
+                f"task {task.tid} submitted at {now} before its arrival {task.arrival}"
+            )
+        if task.demand > self.processors.count:
+            raise SchedulingError(
+                f"task {task.tid} demands {task.demand} nodes; the site has "
+                f"{self.processors.count}"
+            )
+        if task.demand > 1 and self.preemption:
+            raise SchedulingError(
+                "preemption of gang-scheduled (multi-node) tasks is not "
+                "supported; disable preemption or use single-node tasks"
+            )
+        task.submit()
+        self.ledger.note_submission(task, now)
+
+        decision: Optional[AdmissionDecision] = None
+        if self.admission is not None and not force:
+            decision = self.admission.evaluate(self, task)
+            if not decision.accept:
+                task.reject(now)
+                self.ledger.note_reject(task, now)
+                return decision
+
+        task.accept()
+        self.pool.add(task)
+        self.ledger.note_accept(task)
+        self._schedule_pass()
+        return decision
+
+    # ------------------------------------------------------------------
+    # Scheduling pass
+    # ------------------------------------------------------------------
+    def _schedule_pass(self) -> None:
+        now = self.sim.now
+        if self.discard_expired:
+            self._discard_expired(now)
+        # Fill idle nodes greedily by score.  Gang-scheduled tasks that do
+        # not fit the current free set are skipped in favour of the next
+        # fitting task — EASY backfilling without reservations (the §4
+        # "common backfilling algorithms"; wide jobs can be delayed by a
+        # stream of narrow ones, a documented simplification).
+        while self.pool and self.processors.free_count > 0:
+            scores = self.heuristic.scores(self.pool.columns(), now)
+            if not self.pool.has_multi_node:
+                # fast path: every task fits one free node
+                self._start(self.pool.remove_at(int(np.argmax(scores))))
+                continue
+            free = self.processors.free_count
+            order = np.argsort(-scores, kind="stable")
+            for index in order:
+                if self.pool.task_at(int(index)).demand <= free:
+                    self._start(self.pool.remove_at(int(index)))
+                    break
+            else:
+                break  # nothing pending fits the free nodes
+        if self.preemption:
+            self._preemption_pass()
+
+    def _start(self, task: Task) -> None:
+        now = self.sim.now
+        task.start(now)
+        completion = now + task.remaining
+        self.processors.assign(task, now, completion)
+        event = self.sim.schedule_at(
+            completion, self._on_completion, task, tag=f"{self.site_id}:complete:{task.tid}"
+        )
+        self._completion_events[task.tid] = event
+        for listener in self.start_listeners:
+            listener(task)
+
+    def _on_completion(self, task: Task) -> None:
+        now = self.sim.now
+        self._completion_events.pop(task.tid, None)
+        self.processors.vacate(task, now)
+        task.complete(now)
+        self.ledger.note_completion(task)
+        for listener in self.finish_listeners:
+            listener(task)
+        self._schedule_pass()
+
+    # ------------------------------------------------------------------
+    # Preemption
+    # ------------------------------------------------------------------
+    def _running_columns(self, now: float) -> tuple[list[Task], PoolColumns]:
+        tasks = self.processors.running_tasks
+        remaining = self.processors.remaining_times(now)
+        n = len(tasks)
+        cols = PoolColumns(
+            arrival=np.array([t.arrival for t in tasks]),
+            runtime=np.array([t.estimate for t in tasks]),
+            remaining=np.array([remaining[t] for t in tasks]),
+            value=np.array([t.value for t in tasks]),
+            decay=np.array([t.decay for t in tasks]),
+            bound=np.array([t.bound for t in tasks]),
+        )
+        return tasks, cols
+
+    def _preemption_pass(self) -> None:
+        """Swap queued tasks onto nodes while they outscore running tasks.
+
+        Pending and running tasks are scored in one combined column set:
+        heuristics whose scores depend on the competitor population
+        (FirstReward's opportunity cost) are only comparable on a shared
+        population, and the shared set also makes each pass a simple
+        top-k selection that provably terminates.
+        """
+        now = self.sim.now
+        # a swap moves one task each way; the scores of a fixed task set at a
+        # fixed time are stable, so at most pool+nodes swaps can occur
+        guard = len(self.pool) + self.processors.count + 1
+        while self.pool:
+            running, run_cols = self._running_columns(now)
+            if not running:
+                return
+            n_pending = len(self.pool)
+            union = PoolColumns.concat(self.pool.columns(), run_cols)
+            scores = self.heuristic.scores(union, now)
+            pending_scores = scores[:n_pending]
+            running_scores = scores[n_pending:]
+            best_pending = int(np.argmax(pending_scores))
+            worst_running = int(np.argmin(running_scores))
+            margin = _PREEMPT_EPS * (1.0 + abs(running_scores[worst_running]))
+            if pending_scores[best_pending] <= running_scores[worst_running] + margin:
+                return
+            self._preempt(running[worst_running])
+            # the vacated node goes to the pending task chosen above (the
+            # preempted task was appended after it, so the index is stable)
+            self._start(self.pool.remove_at(best_pending))
+            guard -= 1
+            if guard <= 0:
+                raise SchedulingError(
+                    "preemption pass failed to converge — heuristic scores "
+                    "are unstable for a fixed task set"
+                )
+
+    def _preempt(self, task: Task) -> None:
+        now = self.sim.now
+        event = self._completion_events.pop(task.tid)
+        self.sim.cancel(event)
+        self.processors.vacate(task, now)
+        task.preempt(now)
+        self.ledger.note_preempt(task)
+        self.pool.add(task)
+        for listener in self.preempt_listeners:
+            listener(task)
+
+    # ------------------------------------------------------------------
+    # Expired-task discard (bounded penalties)
+    # ------------------------------------------------------------------
+    def _discard_expired(self, now: float) -> None:
+        if not self.pool:
+            return
+        cols = self.pool.columns()
+        horizons = decay_horizons(cols, now)
+        expired = (horizons <= 0.0) & np.isfinite(cols.bound) & (cols.decay > 0.0)
+        if not expired.any():
+            return
+        # collect first: removing mutates column indices
+        victims = [self.pool.task_at(i) for i in np.nonzero(expired)[0]]
+        for task in victims:
+            self.pool.remove(task)
+            task.cancel(now)
+            self.ledger.note_cancel(task)
+            for listener in self.finish_listeners:
+                listener(task)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def queue_length(self) -> int:
+        return len(self.pool)
+
+    @property
+    def running_count(self) -> int:
+        return self.processors.busy_count
+
+    def all_work_done(self) -> bool:
+        return not self.pool and self.processors.busy_count == 0
+
+    def __repr__(self) -> str:
+        return (
+            f"<TaskServiceSite {self.site_id!r} heuristic={self.heuristic.name} "
+            f"queue={self.queue_length} running={self.running_count}>"
+        )

@@ -1,0 +1,7 @@
+"""Task, bid, and contract models (§2–§4 of the paper)."""
+
+from repro.tasks.bid import ServerBid, TaskBid
+from repro.tasks.contract import Contract
+from repro.tasks.task import Task, TaskState
+
+__all__ = ["Contract", "ServerBid", "Task", "TaskBid", "TaskState"]

@@ -1,0 +1,255 @@
+"""Distribution toolkit for workload generation.
+
+Each distribution knows its configured mean, can sample a vector given a
+``numpy.random.Generator``, and can be rescaled to a different mean —
+the operation load-factor calibration needs (§4.1: "the magnitude of all
+results is dependent on the load factor, i.e., the total requested work
+over any interval, divided by total capacity").
+
+Positive-support distributions (durations, inter-arrival gaps) clip away
+non-positive samples by resampling, so a ``NormalDist`` with a small mean
+never emits zero-length jobs.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+
+class Distribution(abc.ABC):
+    """A one-dimensional sampling distribution with a known mean."""
+
+    @abc.abstractmethod
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Draw *size* samples as a float64 array."""
+
+    @property
+    @abc.abstractmethod
+    def mean(self) -> float:
+        """The distribution's configured mean."""
+
+    @abc.abstractmethod
+    def with_mean(self, mean: float) -> "Distribution":
+        """A copy rescaled to the given mean (shape preserved)."""
+
+    def _check_size(self, size: int) -> None:
+        if size < 0:
+            raise WorkloadError(f"sample size must be >= 0, got {size}")
+
+
+def _resample_nonpositive(
+    rng: np.random.Generator,
+    draw,
+    size: int,
+    floor: float,
+    max_rounds: int = 100,
+) -> np.ndarray:
+    """Draw with rejection of samples <= floor (vectorized resampling)."""
+    out = draw(size)
+    bad = out <= floor
+    rounds = 0
+    while bad.any():
+        rounds += 1
+        if rounds > max_rounds:
+            raise WorkloadError(
+                "resampling failed to produce positive samples; the "
+                "distribution places almost no mass above zero"
+            )
+        out[bad] = draw(int(bad.sum()))
+        bad = out <= floor
+    return out
+
+
+class ExponentialDist(Distribution):
+    """Exponential distribution — the paper's default for inter-arrivals
+    and durations ("exponentially distributed inter-arrival times are
+    common in batch workloads")."""
+
+    def __init__(self, mean: float) -> None:
+        if not math.isfinite(mean) or mean <= 0:
+            raise WorkloadError(f"exponential mean must be finite and > 0, got {mean!r}")
+        self._mean = float(mean)
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    def with_mean(self, mean: float) -> "ExponentialDist":
+        return ExponentialDist(mean)
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        self._check_size(size)
+        return rng.exponential(self._mean, size)
+
+    def __repr__(self) -> str:
+        return f"ExponentialDist(mean={self._mean:g})"
+
+
+class NormalDist(Distribution):
+    """Truncated-positive normal — used by the Millennium-style mixes
+    ("in some cases we use normal distributions to reproduce and compare
+    to results from the Millennium study").
+
+    ``cv`` is the coefficient of variation (std/mean); samples ≤ 0 are
+    rejected and redrawn, so the realized mean is slightly above the
+    nominal one for large ``cv`` (negligible for cv ≤ 0.5).
+    """
+
+    def __init__(self, mean: float, cv: float = 0.25) -> None:
+        if not math.isfinite(mean) or mean <= 0:
+            raise WorkloadError(f"normal mean must be finite and > 0, got {mean!r}")
+        if not math.isfinite(cv) or cv < 0:
+            raise WorkloadError(f"cv must be finite and >= 0, got {cv!r}")
+        self._mean = float(mean)
+        self.cv = float(cv)
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    def with_mean(self, mean: float) -> "NormalDist":
+        return NormalDist(mean, self.cv)
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        self._check_size(size)
+        if self.cv == 0:
+            return np.full(size, self._mean)
+        std = self.cv * self._mean
+        return _resample_nonpositive(
+            rng, lambda n: rng.normal(self._mean, std, n), size, floor=0.0
+        )
+
+    def __repr__(self) -> str:
+        return f"NormalDist(mean={self._mean:g}, cv={self.cv:g})"
+
+
+class ConstantDist(Distribution):
+    """Degenerate distribution (every sample equals the mean)."""
+
+    def __init__(self, value: float) -> None:
+        if not math.isfinite(value):
+            raise WorkloadError(f"constant value must be finite, got {value!r}")
+        self._value = float(value)
+
+    @property
+    def mean(self) -> float:
+        return self._value
+
+    def with_mean(self, mean: float) -> "ConstantDist":
+        return ConstantDist(mean)
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        self._check_size(size)
+        return np.full(size, self._value)
+
+    def __repr__(self) -> str:
+        return f"ConstantDist({self._value:g})"
+
+
+class UniformDist(Distribution):
+    """Uniform on [low, high]."""
+
+    def __init__(self, low: float, high: float) -> None:
+        if not (math.isfinite(low) and math.isfinite(high)) or high < low:
+            raise WorkloadError(f"invalid uniform range [{low!r}, {high!r}]")
+        self.low = float(low)
+        self.high = float(high)
+
+    @property
+    def mean(self) -> float:
+        return 0.5 * (self.low + self.high)
+
+    def with_mean(self, mean: float) -> "UniformDist":
+        if self.mean == 0:
+            raise WorkloadError("cannot rescale a zero-mean uniform distribution")
+        scale = mean / self.mean
+        return UniformDist(self.low * scale, self.high * scale)
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        self._check_size(size)
+        return rng.uniform(self.low, self.high, size)
+
+    def __repr__(self) -> str:
+        return f"UniformDist({self.low:g}, {self.high:g})"
+
+
+class LognormalDist(Distribution):
+    """Lognormal with given mean and shape ``sigma`` (log-space std).
+
+    Batch-workload trace studies often report long-tailed durations; this
+    is the standard long-tailed alternative for sensitivity ablations.
+    """
+
+    def __init__(self, mean: float, sigma: float = 1.0) -> None:
+        if not math.isfinite(mean) or mean <= 0:
+            raise WorkloadError(f"lognormal mean must be finite and > 0, got {mean!r}")
+        if not math.isfinite(sigma) or sigma < 0:
+            raise WorkloadError(f"sigma must be finite and >= 0, got {sigma!r}")
+        self._mean = float(mean)
+        self.sigma = float(sigma)
+        # E[lognormal(mu, sigma)] = exp(mu + sigma^2/2)
+        self._mu = math.log(self._mean) - 0.5 * self.sigma**2
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    def with_mean(self, mean: float) -> "LognormalDist":
+        return LognormalDist(mean, self.sigma)
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        self._check_size(size)
+        return rng.lognormal(self._mu, self.sigma, size)
+
+    def __repr__(self) -> str:
+        return f"LognormalDist(mean={self._mean:g}, sigma={self.sigma:g})"
+
+
+class ParetoDist(Distribution):
+    """Pareto (heavy tail) with shape ``alpha`` > 1 and the given mean."""
+
+    def __init__(self, mean: float, alpha: float = 2.5) -> None:
+        if not math.isfinite(mean) or mean <= 0:
+            raise WorkloadError(f"pareto mean must be finite and > 0, got {mean!r}")
+        if not math.isfinite(alpha) or alpha <= 1:
+            raise WorkloadError(f"pareto alpha must be > 1 (finite mean), got {alpha!r}")
+        self._mean = float(mean)
+        self.alpha = float(alpha)
+        # mean of x_m * (1 + Pareto(alpha)) is x_m * alpha/(alpha-1)
+        self._xm = self._mean * (self.alpha - 1.0) / self.alpha
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    def with_mean(self, mean: float) -> "ParetoDist":
+        return ParetoDist(mean, self.alpha)
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        self._check_size(size)
+        return self._xm * (1.0 + rng.pareto(self.alpha, size))
+
+    def __repr__(self) -> str:
+        return f"ParetoDist(mean={self._mean:g}, alpha={self.alpha:g})"
+
+
+def make_distribution(kind: str, mean: float, **kwargs) -> Distribution:
+    """Factory by name: exponential | normal | constant | lognormal | pareto."""
+    kinds = {
+        "exponential": ExponentialDist,
+        "normal": NormalDist,
+        "constant": ConstantDist,
+        "lognormal": LognormalDist,
+        "pareto": ParetoDist,
+    }
+    try:
+        cls = kinds[kind]
+    except KeyError:
+        raise WorkloadError(f"unknown distribution kind {kind!r}; options: {sorted(kinds)}")
+    return cls(mean, **kwargs)

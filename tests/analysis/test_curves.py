@@ -1,0 +1,66 @@
+"""Tests for the ASCII curve renderer."""
+
+import pytest
+
+from repro.analysis import render_curves
+
+
+class TestRenderCurves:
+    def test_single_line_renders_points(self):
+        text = render_curves({"a": [(0.0, 0.0), (1.0, 10.0)]}, width=20, height=5)
+        assert "o=a" in text
+        assert "y: 0 .. 10" in text
+        assert "x: 0 .. 1" in text
+        assert text.count("o") >= 2 + 1  # two data points + legend glyph
+
+    def test_multiple_lines_get_distinct_glyphs(self):
+        series = {
+            "low": [(0.0, 1.0), (1.0, 2.0)],
+            "high": [(0.0, 5.0), (1.0, 6.0)],
+        }
+        text = render_curves(series, width=20, height=8)
+        assert "o=low" in text and "x=high" in text
+
+    def test_zero_line_drawn_when_spanning(self):
+        text = render_curves({"a": [(0.0, -5.0), (1.0, 5.0)]}, width=20, height=9)
+        assert any(set(line.strip("|")) == {"-"} or "-" in line
+                   for line in text.splitlines()[2:-2])
+
+    def test_flat_series(self):
+        text = render_curves({"a": [(0.0, 3.0), (1.0, 3.0)]}, width=10, height=4)
+        assert "y: 3 .. 3" in text
+
+    def test_log_x(self):
+        text = render_curves(
+            {"a": [(0.001, 1.0), (0.1, 2.0), (10.0, 3.0)]},
+            width=30, height=6, log_x=True,
+        )
+        assert "x(log10)" in text
+
+    def test_log_x_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            render_curves({"a": [(0.0, 1.0)]}, log_x=True)
+
+    def test_empty(self):
+        assert "(no data)" in render_curves({}, title="t")
+
+    def test_title_included(self):
+        text = render_curves({"a": [(0.0, 1.0)]}, title="my plot")
+        assert text.splitlines()[0] == "my plot"
+
+    def test_interpolation_connects_points(self):
+        # a long horizontal run should be filled between data columns
+        text = render_curves({"a": [(0.0, 1.0), (10.0, 1.0)]}, width=30, height=3)
+        body = [l for l in text.splitlines() if l.startswith("|")]
+        assert any(l.count("o") > 10 for l in body)
+
+
+class TestCliPlot:
+    def test_fig4_plot_flag(self, capsys):
+        from repro.cli import main
+
+        code = main(["fig4", "--n-jobs", "150", "--seeds", "0", "--plot"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "legend:" in out
+        assert "improvement_pct vs alpha" in out

@@ -1,0 +1,103 @@
+"""Tests for gantt rendering and run reports."""
+
+import pytest
+
+from repro.analysis import SiteTimeline, render_gantt, run_report
+from repro.analysis.report import format_report
+from repro.scheduling import FCFS, FirstPrice
+from repro.sim import Simulator
+from repro.site import TaskServiceSite
+from repro.tasks import Task
+from repro.valuefn import LinearDecayValueFunction
+
+
+def make_task(arrival, runtime, value=100.0, decay=1.0, bound=None):
+    return Task(arrival, runtime, LinearDecayValueFunction(value, decay, bound))
+
+
+def run(tasks, heuristic=None, processors=1, **kwargs):
+    sim = Simulator()
+    site = TaskServiceSite(sim, processors, heuristic or FCFS(), **kwargs)
+    timeline = SiteTimeline(site)
+    for t in tasks:
+        sim.schedule_at(t.arrival, site.submit, t)
+    sim.run()
+    return timeline, site
+
+
+class TestGantt:
+    def test_rows_per_node(self):
+        timeline, _ = run([make_task(0.0, 5.0), make_task(0.0, 5.0)], processors=2)
+        text = render_gantt(timeline, width=20)
+        assert "node  0" in text and "node  1" in text
+
+    def test_idle_time_renders_dots(self):
+        timeline, _ = run([make_task(0.0, 5.0)], processors=2)
+        lines = render_gantt(timeline, width=10, legend=False).splitlines()
+        idle_row = lines[2]
+        assert set(idle_row.split("|")[1]) == {"."}
+
+    def test_preemption_marker(self):
+        low = make_task(0.0, 100.0, value=10.0, decay=0.01)
+        high = make_task(10.0, 10.0, value=1000.0, decay=0.01)
+        timeline, _ = run([low, high], FirstPrice(), preemption=True)
+        assert "~" in render_gantt(timeline, width=40, legend=False)
+
+    def test_empty_timeline(self):
+        sim = Simulator()
+        site = TaskServiceSite(sim, 1, FCFS())
+        timeline = SiteTimeline(site)
+        assert render_gantt(timeline) == "(empty timeline)"
+
+    def test_legend_lists_tasks(self):
+        t = make_task(0.0, 5.0)
+        timeline, _ = run([t])
+        assert f"task{t.tid}" in render_gantt(timeline)
+
+    def test_custom_horizon_extends_axis(self):
+        timeline, _ = run([make_task(0.0, 5.0)])
+        text = render_gantt(timeline, width=10, until=10.0, legend=False)
+        row = text.splitlines()[1].split("|")[1]
+        assert row.endswith(".....")  # second half idle
+
+
+class TestRunReport:
+    def test_sections_present(self):
+        timeline, site = run(
+            [make_task(0.0, 5.0), make_task(0.0, 5.0, value=10.0)], processors=1
+        )
+        report = run_report(site.ledger, timeline)
+        assert report["accounting"]["completed"] == 2
+        assert report["execution"]["utilization"] == pytest.approx(1.0)
+        assert report["execution"]["segments"] == 2
+        assert len(report["by_class"]) == 2  # low/high split
+
+    def test_report_without_timeline(self):
+        _, site = run([make_task(0.0, 5.0)])
+        report = run_report(site.ledger)
+        assert "execution" not in report
+        assert report["accounting"]["completed"] == 1
+
+    def test_single_class_breakdown(self):
+        _, site = run([make_task(0.0, 5.0), make_task(0.0, 5.0)])
+        report = run_report(site.ledger)
+        assert [row["class"] for row in report["by_class"]] == ["all"]
+
+    def test_capture_rate_bounds(self):
+        timeline, site = run(
+            [make_task(0.0, 5.0, decay=2.0) for _ in range(4)], processors=1
+        )
+        for row in run_report(site.ledger, timeline)["by_class"]:
+            assert row["capture_rate"] <= 1.0 + 1e-9
+
+    def test_format_report_renders(self):
+        timeline, site = run([make_task(0.0, 5.0)])
+        text = format_report(run_report(site.ledger, timeline))
+        assert "accounting:" in text and "execution:" in text
+
+    def test_empty_ledger_report(self):
+        from repro.site import YieldLedger
+
+        report = run_report(YieldLedger())
+        assert report["by_class"] == []
+        assert "yield 0.0" in format_report(report)

@@ -1,0 +1,106 @@
+"""Tests for the execution-timeline observer and derived statistics."""
+
+import pytest
+
+from repro.analysis import SiteTimeline
+from repro.scheduling import FCFS, FirstPrice
+from repro.sim import Simulator
+from repro.site import TaskServiceSite
+from repro.tasks import Task
+from repro.valuefn import LinearDecayValueFunction
+from repro.workload import economy_spec, generate_trace
+
+
+def make_task(arrival, runtime, value=100.0, decay=1.0, bound=None):
+    return Task(arrival, runtime, LinearDecayValueFunction(value, decay, bound))
+
+
+def run_with_timeline(tasks, heuristic=None, processors=1, **kwargs):
+    sim = Simulator()
+    site = TaskServiceSite(sim, processors, heuristic or FCFS(), **kwargs)
+    timeline = SiteTimeline(site)
+    for t in tasks:
+        sim.schedule_at(t.arrival, site.submit, t)
+    sim.run()
+    return timeline, site
+
+
+class TestSegments:
+    def test_single_task_single_segment(self):
+        t = make_task(0.0, 10.0)
+        timeline, _ = run_with_timeline([t])
+        assert len(timeline.segments) == 1
+        seg = timeline.segments[0]
+        assert (seg.start, seg.end, seg.final) == (0.0, 10.0, True)
+        assert seg.length == 10.0
+        assert seg.tid == t.tid
+
+    def test_serial_tasks_on_one_node(self):
+        a, b = make_task(0.0, 5.0), make_task(0.0, 3.0)
+        timeline, _ = run_with_timeline([a, b])
+        rows = timeline.node_rows()
+        assert len(rows[0]) == 2
+        assert rows[0][0].end <= rows[0][1].start
+
+    def test_preemption_splits_into_segments(self):
+        low = make_task(0.0, 100.0, value=10.0, decay=0.01)
+        high = make_task(10.0, 10.0, value=1000.0, decay=0.01)
+        timeline, _ = run_with_timeline([low, high], FirstPrice(), preemption=True)
+        low_segments = timeline.segments_of(low.tid)
+        assert len(low_segments) == 2
+        assert not low_segments[0].final
+        assert low_segments[0].end == 10.0
+        assert low_segments[1].final
+        assert timeline.preemption_count() == 1
+        # total executed time equals the runtime
+        assert sum(s.length for s in low_segments) == pytest.approx(100.0)
+
+    def test_makespan(self):
+        a, b = make_task(0.0, 5.0), make_task(0.0, 7.0)
+        timeline, _ = run_with_timeline([a, b], processors=2)
+        assert timeline.makespan == 7.0
+
+    def test_cancelled_queued_task_has_no_segment(self):
+        blocker = make_task(0.0, 100.0, value=1000.0, decay=0.1)
+        doomed = make_task(0.0, 5.0, value=10.0, decay=1.0, bound=0.0)
+        timeline, _ = run_with_timeline(
+            [blocker, doomed], FirstPrice(), discard_expired=True
+        )
+        assert timeline.segments_of(doomed.tid) == []
+
+
+class TestInvariantsAndStats:
+    def test_no_overlap_on_random_trace(self):
+        trace = generate_trace(economy_spec(n_jobs=200, load_factor=1.5, processors=4), seed=5)
+        sim = Simulator()
+        site = TaskServiceSite(sim, 4, FirstPrice(), preemption=True)
+        timeline = SiteTimeline(site)
+        for t in trace.to_tasks():
+            sim.schedule_at(t.arrival, site.submit, t)
+        sim.run()
+        timeline.verify_no_overlap()  # raises on violation
+        assert 0.0 < timeline.utilization() <= 1.0
+
+    def test_utilization_fully_busy(self):
+        a, b = make_task(0.0, 5.0), make_task(0.0, 5.0)
+        timeline, _ = run_with_timeline([a, b])
+        assert timeline.utilization() == pytest.approx(1.0)
+
+    def test_utilization_half_idle_with_two_nodes(self):
+        timeline, _ = run_with_timeline([make_task(0.0, 10.0)], processors=2)
+        assert timeline.utilization() == pytest.approx(0.5)
+
+    def test_queue_length_stats(self):
+        tasks = [make_task(0.0, 10.0) for _ in range(3)]
+        timeline, _ = run_with_timeline(tasks)
+        stats = timeline.queue_length_stats()
+        assert stats["max"] == 2
+        assert 0.0 < stats["mean"] <= 2.0
+
+    def test_empty_timeline(self):
+        sim = Simulator()
+        site = TaskServiceSite(sim, 1, FCFS())
+        timeline = SiteTimeline(site)
+        assert timeline.makespan == 0.0
+        assert timeline.utilization() == 0.0
+        assert timeline.queue_length_stats() == {"mean": 0.0, "max": 0}

@@ -1,0 +1,17 @@
+"""Test-suite configuration.
+
+Hypothesis runs with a fixed, CI-friendly profile: derandomized (so a
+red build is reproducible from the seed in the failure message) and with
+deadlines disabled (whole-simulation examples have legitimate latency
+variance that per-example deadlines would misreport as flakiness).
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    derandomize=True,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

@@ -1,0 +1,52 @@
+"""Tests for the consolidation extension experiment."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.consolidation import (
+    _split_round_robin,
+    run_consolidation,
+)
+from repro.workload import economy_spec, generate_trace
+
+
+class TestSplit:
+    def test_partition_is_complete_and_disjoint(self):
+        trace = generate_trace(economy_spec(n_jobs=101), seed=0)
+        parts = _split_round_robin(trace, 4)
+        assert sum(len(p) for p in parts) == 101
+        all_arrivals = np.concatenate([p.arrival for p in parts])
+        assert len(all_arrivals) == 101
+        # total work conserved
+        assert sum(p.total_work for p in parts) == pytest.approx(trace.total_work)
+
+    def test_parts_keep_arrival_order(self):
+        trace = generate_trace(economy_spec(n_jobs=60), seed=1)
+        for part in _split_round_robin(trace, 3):
+            assert (np.diff(part.arrival) >= 0).all()
+
+    def test_round_robin_balances_counts(self):
+        trace = generate_trace(economy_spec(n_jobs=100), seed=2)
+        parts = _split_round_robin(trace, 4)
+        assert [len(p) for p in parts] == [25, 25, 25, 25]
+
+
+class TestExperiment:
+    def test_rows_cover_grid(self):
+        result = run_consolidation(n_jobs=200, seeds=(0,), load_factors=(0.8,))
+        assert len(result.rows) == 3
+        orgs = {r["organization"] for r in result.rows}
+        assert orgs == {"private", "consolidated", "market"}
+
+    def test_sharing_beats_fragmentation_at_moderate_load(self):
+        result = run_consolidation(n_jobs=600, seeds=(0,), load_factors=(0.7,))
+        private = result.lookup(load_factor=0.7, organization="private")
+        consolidated = result.lookup(load_factor=0.7, organization="consolidated")
+        assert consolidated["mean_delay"] < private["mean_delay"]
+        assert consolidated["total_yield"] >= private["total_yield"]
+
+    def test_market_close_to_consolidated(self):
+        result = run_consolidation(n_jobs=600, seeds=(0,), load_factors=(0.7,))
+        consolidated = result.lookup(load_factor=0.7, organization="consolidated")
+        market = result.lookup(load_factor=0.7, organization="market")
+        assert market["total_yield"] >= 0.9 * consolidated["total_yield"]

@@ -1,0 +1,55 @@
+"""Tests for the sensitivity-analysis harness."""
+
+import pytest
+
+from repro.experiments.sensitivity import run_load_horizon_grid, run_skew_grid
+
+
+class TestSkewGrid:
+    @pytest.fixture(scope="class")
+    def grid(self):
+        return run_skew_grid(
+            n_jobs=400,
+            seeds=(0,),
+            value_skews=(1.0, 4.0),
+            decay_skews=(1.0, 5.0),
+            processors=8,
+        )
+
+    def test_covers_full_grid(self, grid):
+        assert len(grid.rows) == 4
+        coords = {(r["value_skew"], r["decay_skew"]) for r in grid.rows}
+        assert coords == {(1.0, 1.0), (1.0, 5.0), (4.0, 1.0), (4.0, 5.0)}
+
+    def test_decay_skew_drives_the_effect(self, grid):
+        # the paper's core sensitivity: cost-awareness matters more when
+        # decay rates vary (compare dskew 5 vs 1 at each value skew)
+        for vskew in (1.0, 4.0):
+            hi = grid.lookup(value_skew=vskew, decay_skew=5.0)["improvement_pct"]
+            lo = grid.lookup(value_skew=vskew, decay_skew=1.0)["improvement_pct"]
+            assert hi > lo
+
+    def test_table_renders(self, grid):
+        assert "value_skew" in grid.table()
+
+
+class TestLoadHorizonGrid:
+    @pytest.fixture(scope="class")
+    def grid(self):
+        return run_load_horizon_grid(
+            n_jobs=400,
+            seeds=(0,),
+            load_factors=(0.6, 1.0),
+            horizons=(1.0, 8.0),
+            processors=8,
+        )
+
+    def test_covers_full_grid(self, grid):
+        assert len(grid.rows) == 4
+
+    def test_contention_amplifies_improvement(self, grid):
+        # more load -> more queueing -> ordering matters more
+        for horizon in (1.0, 8.0):
+            heavy = grid.lookup(load_factor=1.0, decay_horizon=horizon)
+            light = grid.lookup(load_factor=0.6, decay_horizon=horizon)
+            assert heavy["improvement_pct"] >= light["improvement_pct"] - 0.5

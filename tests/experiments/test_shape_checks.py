@@ -1,0 +1,191 @@
+"""Unit tests for the shape-check logic on synthetic figure data.
+
+These verify the checks themselves discriminate correctly — feeding them
+hand-built 'good shape' and 'bad shape' rows — without running any
+simulations.
+"""
+
+from repro.experiments import FigureResult
+from repro.experiments.runner import (
+    check_fig3,
+    check_fig4,
+    check_fig5,
+    check_fig6,
+    check_fig7,
+)
+
+
+def fig(figure, rows):
+    r = FigureResult(figure=figure, title="synthetic")
+    r.rows = rows
+    return r
+
+
+def rows_fig3(skew_to_curve):
+    rows = []
+    for skew, curve in skew_to_curve.items():
+        for pct, imp in curve:
+            rows.append(
+                {"value_skew": skew, "discount_pct": pct, "improvement_pct": imp}
+            )
+    return rows
+
+
+class TestCheckFig3:
+    GOOD = {
+        1.0: [(0.001, 0.0), (1.0, 0.8), (10.0, -2.0)],
+        9.0: [(0.001, 0.1), (1.0, 4.0), (10.0, 3.0)],
+    }
+
+    def test_good_shape_passes(self):
+        checks = check_fig3(fig("fig3", rows_fig3(self.GOOD)))
+        assert all(c.passed for c in checks)
+
+    def test_nonzero_at_vanishing_rate_fails(self):
+        bad = dict(self.GOOD)
+        bad[9.0] = [(0.001, 5.0), (1.0, 4.0), (10.0, 3.0)]
+        checks = {c.name: c for c in check_fig3(fig("fig3", rows_fig3(bad)))}
+        assert not checks["pv-equals-firstprice-as-rate-vanishes"].passed
+
+    def test_no_gains_anywhere_fails(self):
+        flat = {
+            1.0: [(0.001, 0.0), (1.0, -0.2), (10.0, -1.0)],
+            9.0: [(0.001, 0.0), (1.0, 0.1), (10.0, -0.5)],
+        }
+        checks = {c.name: c for c in check_fig3(fig("fig3", rows_fig3(flat)))}
+        assert not checks["pv-gains-at-moderate-rates"].passed
+
+    def test_skew_inversion_fails_soft_check(self):
+        inverted = {
+            1.0: [(0.001, 0.0), (1.0, 5.0), (10.0, 2.0)],
+            9.0: [(0.001, 0.0), (1.0, 1.0), (10.0, 0.5)],
+        }
+        checks = {c.name: c for c in check_fig3(fig("fig3", rows_fig3(inverted)))}
+        check = checks["gains-grow-with-value-skew"]
+        assert not check.passed and not check.robust
+
+
+def rows_alpha(figure, skew_to_curve):
+    rows = []
+    for skew, curve in skew_to_curve.items():
+        for alpha, imp in curve:
+            rows.append(
+                {"decay_skew": skew, "alpha": alpha, "improvement_pct": imp}
+            )
+    return rows
+
+
+class TestCheckFig4:
+    def test_interior_peak_passes(self):
+        good = {3.0: [(0.0, -0.5), (0.4, 1.0), (0.9, 0.2)]}
+        checks = check_fig4(fig("fig4", rows_alpha("fig4", good)))
+        assert all(c.passed for c in checks)
+
+    def test_huge_improvements_fail_modesty_check(self):
+        wild = {3.0: [(0.0, 50.0), (0.4, 60.0), (0.9, 10.0)]}
+        checks = {c.name: c for c in check_fig4(fig("fig4", rows_alpha("fig4", wild)))}
+        assert not checks["bounded-improvements-modest"].passed
+
+
+class TestCheckFig5:
+    GOOD = {
+        3.0: [(0.0, 15.0), (0.5, 10.0), (0.9, 8.0)],
+        7.0: [(0.0, 35.0), (0.5, 28.0), (0.9, 15.0)],
+    }
+
+    def test_good_shape_passes(self):
+        checks = check_fig5(fig("fig5", rows_alpha("fig5", self.GOOD)))
+        assert all(c.passed for c in checks)
+
+    def test_gains_helping_fails(self):
+        bad = {
+            3.0: [(0.0, 5.0), (0.5, 10.0), (0.9, 15.0)],
+            7.0: [(0.0, 6.0), (0.5, 12.0), (0.9, 20.0)],
+        }
+        checks = {c.name: c for c in check_fig5(fig("fig5", rows_alpha("fig5", bad)))}
+        assert not checks["never-useful-to-consider-gains"].passed
+
+    def test_skew_inversion_fails(self):
+        bad = {
+            3.0: [(0.0, 35.0), (0.5, 30.0), (0.9, 20.0)],
+            7.0: [(0.0, 10.0), (0.5, 8.0), (0.9, 5.0)],
+        }
+        checks = {c.name: c for c in check_fig5(fig("fig5", rows_alpha("fig5", bad)))}
+        assert not checks["improvement-grows-with-decay-skew"].passed
+
+    def test_tiny_magnitude_fails(self):
+        bad = {
+            3.0: [(0.0, 1.0), (0.5, 0.5), (0.9, 0.2)],
+            7.0: [(0.0, 2.0), (0.5, 1.0), (0.9, 0.3)],
+        }
+        checks = {c.name: c for c in check_fig5(fig("fig5", rows_alpha("fig5", bad)))}
+        assert not checks["magnitude-order-larger-than-bounded-case"].passed
+
+
+def rows_fig6(policy_to_curve):
+    rows = []
+    for policy, curve in policy_to_curve.items():
+        for load, rate in curve:
+            rows.append({"policy": policy, "load_factor": load, "yield_rate": rate})
+    return rows
+
+
+class TestCheckFig6:
+    GOOD = {
+        "alpha=0": [(0.5, 8.0), (4.5, 35.0)],
+        "alpha=1": [(0.5, 8.0), (4.5, 31.0)],
+        "firstprice-noac": [(0.5, 11.0), (4.5, -400.0)],
+    }
+
+    def test_good_shape_passes(self):
+        checks = check_fig6(fig("fig6", rows_fig6(self.GOOD)))
+        assert all(c.passed for c in checks)
+
+    def test_flat_ac_fails(self):
+        bad = dict(self.GOOD)
+        bad["alpha=0"] = [(0.5, 35.0), (4.5, 8.0)]
+        checks = {c.name: c for c in check_fig6(fig("fig6", rows_fig6(bad)))}
+        assert not checks["admission-control-yield-rises-with-load"].passed
+
+    def test_healthy_noac_fails_collapse_check(self):
+        bad = dict(self.GOOD)
+        bad["firstprice-noac"] = [(0.5, 11.0), (4.5, 40.0)]
+        checks = {c.name: c for c in check_fig6(fig("fig6", rows_fig6(bad)))}
+        assert not checks["no-admission-control-collapses"].passed
+
+
+def rows_fig7(load_to_curve):
+    rows = []
+    for load, curve in load_to_curve.items():
+        for threshold, imp in curve:
+            rows.append(
+                {"load_factor": load, "threshold": threshold, "improvement_pct": imp}
+            )
+    return rows
+
+
+class TestCheckFig7:
+    GOOD = {
+        0.5: [(-200.0, 2.0), (200.0, -10.0), (700.0, -50.0)],
+        2.0: [(-200.0, 90.0), (200.0, 140.0), (700.0, 100.0)],
+    }
+
+    def test_good_shape_passes(self):
+        checks = check_fig7(fig("fig7", rows_fig7(self.GOOD)))
+        assert all(c.passed for c in checks)
+
+    def test_peak_moving_left_with_load_fails(self):
+        bad = {
+            0.5: [(-200.0, 2.0), (200.0, 5.0), (700.0, 1.0)],
+            2.0: [(-200.0, 140.0), (200.0, 90.0), (700.0, 10.0)],
+        }
+        checks = {c.name: c for c in check_fig7(fig("fig7", rows_fig7(bad)))}
+        assert not checks["ideal-threshold-grows-with-load"].passed
+
+    def test_low_load_winning_more_fails(self):
+        bad = {
+            0.5: [(-200.0, 200.0), (200.0, 250.0), (700.0, 100.0)],
+            2.0: [(-200.0, 90.0), (200.0, 140.0), (700.0, 100.0)],
+        }
+        checks = {c.name: c for c in check_fig7(fig("fig7", rows_fig7(bad)))}
+        assert not checks["threshold-matters-more-at-high-load"].passed

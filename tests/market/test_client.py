@@ -1,0 +1,121 @@
+"""Tests for budgeted clients (§2's per-interval currency premise)."""
+
+import math
+
+import pytest
+
+from repro.errors import MarketError
+from repro.market import Broker, BudgetedClient, MarketSite
+from repro.scheduling import FirstPrice
+from repro.sim import Simulator
+from repro.site import SlackAdmission
+
+
+def setup_market(threshold=-math.inf, processors=2):
+    sim = Simulator()
+    site = MarketSite(
+        sim,
+        site_id="s",
+        processors=processors,
+        heuristic=FirstPrice(),
+        admission=SlackAdmission(threshold=threshold, discount_rate=0.0),
+    )
+    broker = Broker(sites=[site])
+    return sim, site, broker
+
+
+class TestBudgetEnforcement:
+    def test_submit_within_budget_signs_contract(self):
+        sim, site, broker = setup_market()
+        client = BudgetedClient(sim, broker, budget_per_interval=500.0)
+        outcome = client.submit(runtime=10.0, value=100.0, decay=1.0)
+        assert outcome is not None and outcome.accepted
+        assert client.available == pytest.approx(400.0)
+        assert client.spent_committed == pytest.approx(100.0)
+
+    def test_submit_beyond_budget_is_skipped(self):
+        sim, site, broker = setup_market()
+        client = BudgetedClient(sim, broker, budget_per_interval=50.0)
+        assert client.submit(runtime=10.0, value=100.0, decay=1.0) is None
+        assert client.skipped_for_budget == 1
+        assert len(client.contracts) == 0
+
+    def test_budget_depletes_across_submissions(self):
+        sim, site, broker = setup_market()
+        client = BudgetedClient(sim, broker, budget_per_interval=250.0)
+        results = [client.submit(runtime=10.0, value=100.0, decay=0.1) for _ in range(4)]
+        accepted = [r for r in results if r is not None]
+        assert len(accepted) == 2  # 100 + ~99 committed; third won't fit
+        assert client.skipped_for_budget == 2
+
+    def test_market_rejection_costs_nothing(self):
+        sim, site, broker = setup_market(threshold=1e12)
+        client = BudgetedClient(sim, broker, budget_per_interval=500.0)
+        outcome = client.submit(runtime=10.0, value=100.0, decay=1.0)
+        assert outcome is not None and not outcome.accepted
+        assert client.rejected_by_market == 1
+        assert client.available == 500.0
+
+    def test_validation(self):
+        sim, site, broker = setup_market()
+        with pytest.raises(MarketError):
+            BudgetedClient(sim, broker, budget_per_interval=-1.0)
+        with pytest.raises(MarketError):
+            BudgetedClient(sim, broker, budget_per_interval=10.0, interval=0.0)
+
+
+class TestRecharge:
+    def test_use_it_or_lose_it(self):
+        sim, site, broker = setup_market()
+        client = BudgetedClient(sim, broker, budget_per_interval=100.0, interval=50.0)
+        client.submit(runtime=10.0, value=80.0, decay=0.0)
+        assert client.available == pytest.approx(20.0)
+        sim.run(until=60.0)  # one recharge fires
+        assert client.available == pytest.approx(100.0)
+
+    def test_carry_over_accumulates(self):
+        sim, site, broker = setup_market()
+        client = BudgetedClient(
+            sim, broker, budget_per_interval=100.0, interval=50.0, carry_over=True
+        )
+        sim.run(until=120.0)  # two recharges
+        assert client.available == pytest.approx(300.0)
+
+    def test_recharge_enables_later_submission(self):
+        sim, site, broker = setup_market()
+        client = BudgetedClient(sim, broker, budget_per_interval=100.0, interval=50.0)
+        client.submit(runtime=5.0, value=90.0, decay=0.0)
+        assert client.submit(runtime=5.0, value=90.0, decay=0.0) is None
+        sim.schedule(55.0, lambda: client.submit(runtime=5.0, value=90.0, decay=0.0))
+        sim.run()
+        assert len(client.contracts) == 2
+
+
+class TestSettlement:
+    def test_reconcile_refunds_decayed_price(self):
+        sim, site, broker = setup_market(processors=1)
+        client = BudgetedClient(sim, broker, budget_per_interval=1000.0)
+        client.submit(runtime=10.0, value=100.0, decay=1.0)
+        client.submit(runtime=10.0, value=100.0, decay=1.0)  # queues, will settle lower
+        sim.run()
+        refund = client.reconcile()
+        # second task completes 10 late: pays 90 instead of the ~90 quoted
+        assert refund == pytest.approx(client.spent_committed - client.settled_spend)
+        assert client.settled_spend == pytest.approx(100.0 + 90.0)
+
+    def test_reconcile_with_open_contracts_raises(self):
+        sim, site, broker = setup_market()
+        client = BudgetedClient(sim, broker, budget_per_interval=1000.0)
+        client.submit(runtime=10.0, value=100.0, decay=1.0)
+        with pytest.raises(MarketError):
+            client.reconcile()
+
+    def test_summary_fields(self):
+        sim, site, broker = setup_market()
+        client = BudgetedClient(sim, broker, budget_per_interval=200.0, client_id="alice")
+        client.submit(runtime=10.0, value=100.0, decay=0.5)
+        sim.run()
+        summary = client.summary()
+        assert summary["client_id"] == "alice"
+        assert summary["contracts"] == 1
+        assert summary["settled_spend"] == pytest.approx(100.0)

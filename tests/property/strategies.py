@@ -1,0 +1,67 @@
+"""Shared hypothesis strategies for the property-test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import strategies as st
+
+from repro.scheduling.base import PoolColumns
+from repro.valuefn import LinearDecayValueFunction
+
+finite_value = st.floats(min_value=0.1, max_value=1e4, allow_nan=False)
+decay_rate = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+runtime = st.floats(min_value=0.01, max_value=1e3, allow_nan=False)
+delay = st.floats(min_value=0.0, max_value=1e5, allow_nan=False)
+bound = st.one_of(st.none(), st.floats(min_value=0.0, max_value=1e4, allow_nan=False))
+
+
+@st.composite
+def linear_vfs(draw) -> LinearDecayValueFunction:
+    return LinearDecayValueFunction(
+        value=draw(finite_value),
+        decay=draw(decay_rate),
+        penalty_bound=draw(bound),
+    )
+
+
+@st.composite
+def pool_rows(draw) -> tuple:
+    """(arrival, runtime, remaining, value, decay, bound) with remaining <= runtime."""
+    rt = draw(runtime)
+    fraction_done = draw(st.floats(min_value=0.0, max_value=0.99))
+    return (
+        draw(st.floats(min_value=0.0, max_value=1e4)),
+        rt,
+        rt * (1.0 - fraction_done),
+        draw(finite_value),
+        draw(decay_rate),
+        draw(st.one_of(st.just(np.inf), st.floats(min_value=0.0, max_value=1e4))),
+    )
+
+
+@st.composite
+def pool_columns(draw, min_size: int = 1, max_size: int = 30) -> PoolColumns:
+    rows = draw(st.lists(pool_rows(), min_size=min_size, max_size=max_size))
+    arrays = [np.array(col, dtype=float) for col in zip(*rows)]
+    return PoolColumns(*arrays)
+
+
+@st.composite
+def trace_rows(draw, max_jobs: int = 25) -> list[tuple]:
+    """Sorted (arrival, runtime, value, decay, bound) rows for a Trace."""
+    n = draw(st.integers(min_value=1, max_value=max_jobs))
+    gaps = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=50.0), min_size=n, max_size=n
+        )
+    )
+    arrivals = np.cumsum(gaps) - gaps[0]
+    rows = []
+    for i in range(n):
+        rt = draw(st.floats(min_value=0.5, max_value=50.0))
+        value = draw(st.floats(min_value=0.1, max_value=500.0))
+        decay = draw(st.floats(min_value=0.0, max_value=10.0))
+        is_bounded = draw(st.booleans())
+        b = draw(st.floats(min_value=0.0, max_value=100.0)) if is_bounded else np.inf
+        rows.append((float(arrivals[i]), rt, value, decay, b))
+    return rows

@@ -1,0 +1,66 @@
+"""Property tests: the opportunity-cost kernel vs its O(n²) oracle."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.scheduling.cost import opportunity_costs, opportunity_costs_naive
+
+sizes = st.integers(min_value=1, max_value=40)
+
+
+@st.composite
+def cost_inputs(draw):
+    n = draw(sizes)
+    remaining = draw(
+        hnp.arrays(float, n, elements=st.floats(min_value=0.0, max_value=1e3))
+    )
+    decay = draw(
+        hnp.arrays(float, n, elements=st.floats(min_value=0.0, max_value=100.0))
+    )
+    horizons = draw(
+        hnp.arrays(float, n, elements=st.floats(min_value=0.0, max_value=1e4))
+    )
+    # random subset unbounded
+    mask = draw(hnp.arrays(bool, n))
+    horizons = np.where(mask, np.inf, horizons)
+    return remaining, decay, horizons
+
+
+class TestKernelVsOracle:
+    @given(inputs=cost_inputs())
+    @settings(max_examples=120)
+    def test_matches_naive(self, inputs):
+        remaining, decay, horizons = inputs
+        fast = opportunity_costs(remaining, decay, horizons)
+        slow = opportunity_costs_naive(remaining, decay, horizons)
+        assert np.allclose(fast, slow, rtol=1e-9, atol=1e-6)
+
+    @given(inputs=cost_inputs())
+    def test_nonnegative(self, inputs):
+        cost = opportunity_costs(*inputs)
+        assert (cost >= -1e-9).all()
+
+    @given(inputs=cost_inputs(), scale=st.floats(min_value=1.0, max_value=10.0))
+    def test_monotone_in_remaining(self, inputs, scale):
+        remaining, decay, horizons = inputs
+        base = opportunity_costs(remaining, decay, horizons)
+        more = opportunity_costs(remaining * scale, decay, horizons)
+        assert (more >= base - 1e-6).all()
+
+    @given(inputs=cost_inputs(), seed=st.integers(min_value=0, max_value=2**31))
+    def test_permutation_equivariant(self, inputs, seed):
+        remaining, decay, horizons = inputs
+        perm = np.random.default_rng(seed).permutation(len(remaining))
+        direct = opportunity_costs(remaining, decay, horizons)[perm]
+        permuted = opportunity_costs(remaining[perm], decay[perm], horizons[perm])
+        assert np.allclose(direct, permuted, rtol=1e-9, atol=1e-6)
+
+    @given(inputs=cost_inputs())
+    def test_eq5_special_case(self, inputs):
+        remaining, decay, _ = inputs
+        horizons = np.full(len(remaining), np.inf)
+        cost = opportunity_costs(remaining, decay, horizons)
+        expected = remaining * (decay.sum() - decay)
+        assert np.allclose(cost, expected, rtol=1e-9, atol=1e-6)

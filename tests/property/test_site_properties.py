@@ -1,0 +1,131 @@
+"""Property tests: whole-site invariants on random traces.
+
+These run a full simulation per example, so sizes are kept small and
+example counts modest; they cover the accounting identities and
+conservation laws the rest of the repo relies on.
+"""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scheduling import FCFS, FirstPrice, FirstReward
+from repro.site import SlackAdmission, simulate_site
+from repro.tasks import TaskState
+from repro.workload import Trace
+from tests.property.strategies import trace_rows
+
+HEURISTICS = [FCFS, FirstPrice, lambda: FirstReward(0.3, 0.01)]
+
+
+def build_trace(rows) -> Trace:
+    cols = list(zip(*rows))
+    return Trace(*[np.array(c, dtype=float) for c in cols])
+
+
+@st.composite
+def site_cases(draw):
+    rows = draw(trace_rows())
+    processors = draw(st.integers(min_value=1, max_value=4))
+    heuristic = draw(st.sampled_from(HEURISTICS))
+    preemption = draw(st.booleans())
+    return build_trace(rows), processors, heuristic(), preemption
+
+
+class TestConservation:
+    @given(case=site_cases())
+    @settings(max_examples=60, deadline=None)
+    def test_every_task_terminal_and_counted(self, case):
+        trace, processors, heuristic, preemption = case
+        result = simulate_site(trace, heuristic, processors, preemption=preemption)
+        ledger = result.ledger
+        assert ledger.submitted == len(trace)
+        assert ledger.completed + ledger.rejected + ledger.cancelled == len(trace)
+        assert all(t.finished for t in result.tasks)
+
+    @given(case=site_cases())
+    @settings(max_examples=60, deadline=None)
+    def test_realized_yields_match_value_functions(self, case):
+        trace, processors, heuristic, preemption = case
+        result = simulate_site(trace, heuristic, processors, preemption=preemption)
+        for task in result.tasks:
+            if task.state is TaskState.COMPLETED:
+                assert task.completion is not None
+                expected = task.vf.yield_at(
+                    max(0.0, task.completion - task.arrival - task.runtime)
+                )
+                assert math.isclose(task.realized_yield, expected, rel_tol=1e-9, abs_tol=1e-9)
+
+    @given(case=site_cases())
+    @settings(max_examples=60, deadline=None)
+    def test_total_yield_identity_and_bound(self, case):
+        trace, processors, heuristic, preemption = case
+        result = simulate_site(trace, heuristic, processors, preemption=preemption)
+        summed = sum(
+            t.realized_yield for t in result.tasks if t.realized_yield is not None
+        )
+        assert math.isclose(result.total_yield, summed, rel_tol=1e-9, abs_tol=1e-6)
+        assert result.total_yield <= trace.value.sum() + 1e-6
+
+    @given(case=site_cases())
+    @settings(max_examples=40, deadline=None)
+    def test_completions_respect_work_conservation(self, case):
+        trace, processors, heuristic, preemption = case
+        result = simulate_site(trace, heuristic, processors, preemption=preemption)
+        # the site cannot finish all work faster than capacity allows
+        lower_bound = trace.arrival[0] + trace.total_work / processors
+        assert result.sim.now >= min(lower_bound, trace.arrival[-1]) - 1e-6
+        # and each task finishes no earlier than arrival + runtime
+        for task in result.tasks:
+            if task.completion is not None and task.state is TaskState.COMPLETED:
+                assert task.completion >= task.arrival + task.runtime - 1e-9
+
+    @given(case=site_cases())
+    @settings(max_examples=30, deadline=None)
+    def test_determinism(self, case):
+        trace, processors, heuristic, preemption = case
+        a = simulate_site(trace, heuristic, processors, preemption=preemption)
+        b = simulate_site(trace, type(heuristic)() if type(heuristic) is not FirstReward
+                          else FirstReward(0.3, 0.01),
+                          processors, preemption=preemption)
+        assert a.total_yield == b.total_yield
+        assert a.sim.now == b.sim.now
+
+
+class TestAdmissionInvariants:
+    @given(case=site_cases(), threshold=st.floats(min_value=-500.0, max_value=500.0))
+    @settings(max_examples=40, deadline=None)
+    def test_rejected_tasks_touch_nothing(self, case, threshold):
+        trace, processors, heuristic, preemption = case
+        result = simulate_site(
+            trace,
+            heuristic,
+            processors,
+            preemption=preemption,
+            admission=SlackAdmission(threshold=threshold, discount_rate=0.01),
+        )
+        for task in result.tasks:
+            if task.state is TaskState.REJECTED:
+                assert task.first_start is None
+                assert task.realized_yield is None
+        # rejected tasks contribute exactly zero to the ledger total
+        completed_sum = sum(
+            t.realized_yield for t in result.tasks if t.realized_yield is not None
+        )
+        assert math.isclose(result.total_yield, completed_sum, rel_tol=1e-9, abs_tol=1e-6)
+
+    @given(case=site_cases())
+    @settings(max_examples=25, deadline=None)
+    def test_infinite_threshold_rejects_all_decaying_tasks(self, case):
+        trace, processors, heuristic, preemption = case
+        result = simulate_site(
+            trace, heuristic, processors,
+            admission=SlackAdmission(threshold=math.inf),
+        )
+        for task in result.tasks:
+            # vanishing decay rates overflow slack to inf — semantically
+            # "never decays", so only meaningfully-decaying tasks must go
+            if task.decay > 1e-9:
+                assert task.state is TaskState.REJECTED

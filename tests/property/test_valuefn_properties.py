@@ -1,0 +1,97 @@
+"""Property tests: value-function invariants (§3)."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.valuefn import PiecewiseLinearValueFunction
+from tests.property.strategies import delay, linear_vfs
+
+
+class TestLinearInvariants:
+    @given(vf=linear_vfs(), d1=delay, d2=delay)
+    def test_monotone_nonincreasing(self, vf, d1, d2):
+        lo, hi = sorted((d1, d2))
+        assert vf.yield_at(hi) <= vf.yield_at(lo) + 1e-9
+
+    @given(vf=linear_vfs())
+    def test_zero_delay_earns_max_value(self, vf):
+        assert vf.yield_at(0.0) == vf.value == vf.max_value
+
+    @given(vf=linear_vfs(), d=delay)
+    def test_never_below_floor(self, vf, d):
+        assert vf.yield_at(d) >= vf.floor - 1e-9
+
+    @given(vf=linear_vfs(), d=delay)
+    def test_constant_after_expiration(self, vf, d):
+        if math.isfinite(vf.expiration_delay):
+            past = vf.expiration_delay + d
+            # equal up to floating-point rounding at the expiry knee
+            assert math.isclose(
+                vf.yield_at(past), vf.yield_at(vf.expiration_delay),
+                rel_tol=1e-9, abs_tol=1e-9,
+            )
+            assert vf.decay_at(past + 1e-6) == 0.0 or vf.decay == 0.0
+
+    @given(vf=linear_vfs(), d=delay)
+    def test_eq1_holds_before_expiry(self, vf, d):
+        if d < vf.expiration_delay:
+            assert vf.yield_at(d) == vf.value - d * vf.decay
+
+    @given(vf=linear_vfs(), d=delay)
+    def test_remaining_horizon_consistency(self, vf, d):
+        h = vf.remaining_decay_horizon(d)
+        assert h >= 0.0
+        step = min(h, 1.0) * 0.5
+        if math.isfinite(h) and h > 1e-6 and vf.decay * step > 1e-9 * (1 + abs(vf.value)):
+            # still decaying: a representable extra delay must cost something
+            assert vf.yield_at(d + step) < vf.yield_at(d)
+
+    @given(vf=linear_vfs())
+    def test_tuple_roundtrip(self, vf):
+        value, decay_, bound_ = vf.as_tuple()
+        clone = type(vf)(value, decay_, bound_)
+        assert clone == vf
+
+
+class TestPiecewiseInvariants:
+    @given(vf=linear_vfs(), d=delay)
+    @settings(max_examples=50)
+    def test_from_linear_agrees_with_linear(self, vf, d):
+        pw = PiecewiseLinearValueFunction.from_linear(vf, horizon=2e5)
+        if d <= 1.9e5:  # inside the embedding horizon
+            assert pw.yield_at(d) == pytest_approx(vf.yield_at(d))
+
+    @given(
+        drops=st.lists(
+            st.tuples(
+                st.floats(min_value=0.1, max_value=100.0),
+                st.floats(min_value=0.0, max_value=50.0),
+            ),
+            min_size=1,
+            max_size=8,
+        ),
+        start=st.floats(min_value=-100.0, max_value=1000.0),
+        d1=delay,
+        d2=delay,
+    )
+    def test_random_breakpoints_monotone(self, drops, start, d1, d2):
+        # build valid breakpoints from positive gaps and non-negative drops
+        points = [(0.0, start)]
+        t, y = 0.0, start
+        for gap, drop in drops:
+            t += gap
+            y -= drop
+            points.append((t, y))
+        vf = PiecewiseLinearValueFunction(points)
+        lo, hi = sorted((d1, d2))
+        assert vf.yield_at(hi) <= vf.yield_at(lo) + 1e-6
+        assert vf.decay_at(lo) >= 0.0
+        assert vf.floor == pytest_approx(y)
+
+
+def pytest_approx(x, rel=1e-9, abs_=1e-9):
+    import pytest
+
+    return pytest.approx(x, rel=rel, abs=abs_)

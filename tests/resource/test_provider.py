@@ -1,0 +1,100 @@
+"""Tests for the resource provider (leases, billing, stock)."""
+
+import pytest
+
+from repro.resource import Lease, ResourceProvider
+from repro.resource.provider import ResourceMarketError
+from repro.sim import Simulator
+
+
+def make_provider(capacity=10, price=0.5):
+    sim = Simulator()
+    return sim, ResourceProvider(sim, capacity=capacity, unit_price=price)
+
+
+class TestLeasing:
+    def test_acquire_reduces_stock(self):
+        sim, provider = make_provider()
+        lease = provider.acquire("a", 4)
+        assert lease is not None and lease.open
+        assert provider.leased_nodes == 4
+        assert provider.available_nodes == 6
+        assert provider.utilization() == pytest.approx(0.4)
+
+    def test_acquire_beyond_stock_returns_none(self):
+        sim, provider = make_provider(capacity=3)
+        assert provider.acquire("a", 2) is not None
+        assert provider.acquire("b", 2) is None
+        assert provider.leased_nodes == 2
+
+    def test_release_restores_stock_and_bills(self):
+        sim, provider = make_provider(price=0.5)
+        lease = provider.acquire("a", 4)
+        sim.schedule(10.0, lambda: None)
+        sim.run()
+        cost = provider.release(lease)
+        assert cost == pytest.approx(4 * 0.5 * 10.0)
+        assert provider.available_nodes == 10
+        assert provider.revenue == pytest.approx(20.0)
+        assert not lease.open
+
+    def test_partial_release_splits_billing(self):
+        sim, provider = make_provider(price=1.0)
+        lease = provider.acquire("a", 4)
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        cost = provider.release(lease, nodes=1)
+        assert cost == pytest.approx(5.0)
+        assert lease.open and lease.nodes == 3
+        assert provider.leased_nodes == 3
+
+    def test_double_release_rejected(self):
+        sim, provider = make_provider()
+        lease = provider.acquire("a", 1)
+        provider.release(lease)
+        with pytest.raises(ResourceMarketError):
+            provider.release(lease)
+
+    def test_foreign_lease_rejected(self):
+        sim, provider = make_provider()
+        foreign = Lease(lease_id=999, tenant="x", nodes=1, unit_price=1.0, acquired_at=0.0)
+        with pytest.raises(ResourceMarketError):
+            provider.release(foreign)
+
+    def test_invalid_release_count(self):
+        sim, provider = make_provider()
+        lease = provider.acquire("a", 2)
+        with pytest.raises(ResourceMarketError):
+            provider.release(lease, nodes=3)
+        with pytest.raises(ResourceMarketError):
+            provider.release(lease, nodes=0)
+
+    def test_validation(self):
+        sim = Simulator()
+        with pytest.raises(ResourceMarketError):
+            ResourceProvider(sim, capacity=0, unit_price=1.0)
+        with pytest.raises(ResourceMarketError):
+            ResourceProvider(sim, capacity=1, unit_price=-1.0)
+        _, provider = make_provider()
+        with pytest.raises(ResourceMarketError):
+            provider.acquire("a", 0)
+
+
+class TestTenantAccounting:
+    def test_tenant_cost_accrues_on_open_leases(self):
+        sim, provider = make_provider(price=2.0)
+        provider.acquire("a", 3)
+        sim.schedule(4.0, lambda: None)
+        sim.run()
+        assert provider.tenant_cost("a") == pytest.approx(3 * 2.0 * 4.0)
+        assert provider.tenant_cost("b") == 0.0
+
+    def test_tenant_cost_sums_closed_and_open(self):
+        sim, provider = make_provider(price=1.0)
+        first = provider.acquire("a", 1)
+        sim.schedule(2.0, provider.release, first)
+        sim.schedule(2.0, lambda: provider.acquire("a", 2))
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        # closed: 1 node * 2 time; open: 2 nodes * 3 time
+        assert provider.tenant_cost("a") == pytest.approx(2.0 + 6.0)

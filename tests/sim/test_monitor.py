@@ -1,0 +1,92 @@
+"""Tests for the periodic sampling monitor."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Simulator
+from repro.sim.monitor import PeriodicMonitor, monitor_site
+
+
+class TestPeriodicMonitor:
+    def test_samples_at_interval_while_work_remains(self):
+        sim = Simulator()
+        state = {"x": 0.0}
+        sim.schedule(2.5, lambda: state.update(x=10.0))
+        sim.schedule(5.0, lambda: None)
+        monitor = PeriodicMonitor(sim, interval=1.0, probes={"x": lambda: state["x"]})
+        sim.run()
+        series = monitor.series("x")
+        assert [t for t, _ in series] == [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert [v for _, v in series] == [0.0, 0.0, 10.0, 10.0, 10.0]
+
+    def test_does_not_extend_the_run(self):
+        sim = Simulator()
+        sim.schedule(3.0, lambda: None)
+        PeriodicMonitor(sim, interval=1.0, probes={"c": lambda: 1.0})
+        sim.run()
+        assert sim.now == 3.0  # monitor daemons stop with the work
+
+    def test_same_timestamp_samples_after_events(self):
+        sim = Simulator()
+        state = {"x": 0}
+        sim.schedule(1.0, lambda: state.update(x=7))
+        monitor = PeriodicMonitor(sim, interval=1.0, probes={"x": lambda: state["x"]})
+        sim.run()
+        assert monitor.series("x") == [(1.0, 7)]
+
+    def test_stats(self):
+        sim = Simulator()
+        state = {"x": 0.0}
+
+        def grow():
+            state["x"] += 2.0
+
+        for t in (0.5, 1.5, 2.5):
+            sim.schedule(t, grow)
+        sim.schedule(3.0, lambda: None)
+        monitor = PeriodicMonitor(sim, interval=1.0, probes={"x": lambda: state["x"]})
+        sim.run()
+        stats = monitor.stats("x")
+        assert stats["samples"] == 3
+        assert stats["min"] == 2.0 and stats["max"] == 6.0
+
+    def test_unknown_probe_rejected(self):
+        sim = Simulator()
+        monitor = PeriodicMonitor(sim, interval=1.0, probes={"x": lambda: 0.0})
+        with pytest.raises(SimulationError):
+            monitor.series("y")
+
+    def test_validation(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            PeriodicMonitor(sim, interval=0.0, probes={"x": lambda: 0.0})
+        with pytest.raises(SimulationError):
+            PeriodicMonitor(sim, interval=1.0, probes={})
+
+    def test_empty_stats(self):
+        sim = Simulator()
+        monitor = PeriodicMonitor(sim, interval=1.0, probes={"x": lambda: 0.0})
+        sim.run()  # nothing essential: no samples taken
+        assert monitor.stats("x")["samples"] == 0
+        assert monitor.sample_count == 0
+
+
+class TestMonitorSite:
+    def test_tracks_queue_and_yield(self):
+        from repro.scheduling import FCFS
+        from repro.site import TaskServiceSite
+        from repro.tasks import Task
+        from repro.valuefn import LinearDecayValueFunction
+
+        sim = Simulator()
+        site = TaskServiceSite(sim, 1, FCFS())
+        monitor = monitor_site(site, interval=5.0)
+        for i in range(3):
+            task = Task(0.0, 10.0, LinearDecayValueFunction(100.0, 1.0))
+            sim.schedule_at(0.0, site.submit, task)
+        sim.run()
+        queue = monitor.values("queue_length")
+        assert queue.max() == 2
+        assert queue[-1] == 0
+        assert monitor.values("total_yield")[-1] == site.ledger.total_yield
+        assert monitor.values("busy_nodes").max() == 1

@@ -1,0 +1,303 @@
+"""Unit tests for the generator-based process layer."""
+
+import pytest
+
+from repro.errors import ProcessError
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Interrupt,
+    Process,
+    ProcessExit,
+    Signal,
+    Simulator,
+    Timeout,
+)
+
+
+class TestTimeout:
+    def test_process_sleeps_for_delay(self):
+        sim = Simulator()
+        log = []
+
+        def worker():
+            log.append(sim.now)
+            yield Timeout(3.0)
+            log.append(sim.now)
+
+        Process(sim, worker())
+        sim.run()
+        assert log == [0.0, 3.0]
+
+    def test_timeout_value_returned_from_yield(self):
+        sim = Simulator()
+        seen = []
+
+        def worker():
+            v = yield Timeout(2.0, value="payload")
+            seen.append(v)
+
+        Process(sim, worker())
+        sim.run()
+        assert seen == ["payload"]
+
+    def test_negative_delay_raises(self):
+        with pytest.raises(ProcessError):
+            Timeout(-1.0)
+
+    def test_result_captured_on_return(self):
+        sim = Simulator()
+
+        def worker():
+            yield Timeout(1.0)
+            return 42
+
+        p = Process(sim, worker())
+        sim.run()
+        assert p.state is ProcessExit.FINISHED
+        assert p.result == 42
+
+    def test_non_generator_raises(self):
+        sim = Simulator()
+        with pytest.raises(ProcessError):
+            Process(sim, lambda: None)
+
+    def test_yield_non_waitable_fails_process(self):
+        sim = Simulator()
+
+        def worker():
+            yield 17
+
+        Process(sim, worker())
+        with pytest.raises(ProcessError, match="non-waitable"):
+            sim.run()
+
+
+class TestSignal:
+    def test_fire_wakes_all_waiters_with_payload(self):
+        sim = Simulator()
+        ready = Signal("ready")
+        got = []
+
+        def waiter(name):
+            payload = yield ready
+            got.append((name, payload, sim.now))
+
+        Process(sim, waiter("a"))
+        Process(sim, waiter("b"))
+        sim.schedule(5.0, ready.fire, "go")
+        sim.run()
+        assert got == [("a", "go", 5.0), ("b", "go", 5.0)]
+
+    def test_fire_returns_waiter_count(self):
+        sim = Simulator()
+        s = Signal()
+
+        def waiter():
+            yield s
+
+        Process(sim, waiter())
+        sim.run(until=0.0)  # let the process reach its yield
+        assert s.waiter_count == 1
+        assert s.fire("x") == 1
+        assert s.fire("y") == 0
+
+    def test_repeated_fires_wake_only_current_waiters(self):
+        sim = Simulator()
+        s = Signal()
+        got = []
+
+        def waiter():
+            got.append((yield s))
+            got.append((yield s))
+
+        Process(sim, waiter())
+        sim.schedule(1.0, s.fire, "first")
+        sim.schedule(2.0, s.fire, "second")
+        sim.run()
+        assert got == ["first", "second"]
+
+
+class TestJoin:
+    def test_join_receives_return_value(self):
+        sim = Simulator()
+        results = []
+
+        def child():
+            yield Timeout(2.0)
+            return "child-result"
+
+        def parent():
+            c = Process(sim, child())
+            value = yield c
+            results.append((value, sim.now))
+
+        Process(sim, parent())
+        sim.run()
+        assert results == [("child-result", 2.0)]
+
+    def test_join_already_finished_process(self):
+        sim = Simulator()
+        results = []
+
+        def child():
+            yield Timeout(1.0)
+            return 7
+
+        c = Process(sim, child())
+
+        def parent():
+            yield Timeout(5.0)
+            value = yield c  # c finished long ago
+            results.append((value, sim.now))
+
+        Process(sim, parent())
+        sim.run()
+        assert results == [(7, 5.0)]
+
+    def test_child_exception_propagates_to_joiner(self):
+        sim = Simulator()
+        caught = []
+
+        def child():
+            yield Timeout(1.0)
+            raise RuntimeError("boom")
+
+        def parent():
+            try:
+                yield Process(sim, child())
+            except RuntimeError as exc:
+                caught.append(str(exc))
+
+        Process(sim, parent())
+        sim.run()
+        assert caught == ["boom"]
+
+    def test_unjoined_exception_raises_out_of_run(self):
+        sim = Simulator()
+
+        def child():
+            yield Timeout(1.0)
+            raise RuntimeError("unhandled")
+
+        Process(sim, child())
+        with pytest.raises(RuntimeError, match="unhandled"):
+            sim.run()
+
+
+class TestInterrupt:
+    def test_interrupt_cancels_wait_and_delivers_cause(self):
+        sim = Simulator()
+        log = []
+
+        def sleeper():
+            try:
+                yield Timeout(100.0)
+            except Interrupt as exc:
+                log.append((exc.cause, sim.now))
+
+        p = Process(sim, sleeper())
+        sim.schedule(3.0, p.interrupt, "wake-up")
+        sim.run()
+        assert log == [("wake-up", 3.0)]
+        assert p.state is ProcessExit.FINISHED
+
+    def test_interrupted_process_can_continue(self):
+        sim = Simulator()
+        log = []
+
+        def sleeper():
+            try:
+                yield Timeout(100.0)
+            except Interrupt:
+                pass
+            yield Timeout(2.0)
+            log.append(sim.now)
+
+        p = Process(sim, sleeper())
+        sim.schedule(3.0, p.interrupt)
+        sim.run()
+        assert log == [5.0]
+
+    def test_unhandled_interrupt_fails_process(self):
+        sim = Simulator()
+
+        def sleeper():
+            yield Timeout(100.0)
+
+        p = Process(sim, sleeper())
+        sim.schedule(1.0, p.interrupt)
+        with pytest.raises(ProcessError, match="did not handle"):
+            sim.run()
+
+    def test_interrupt_dead_process_raises(self):
+        sim = Simulator()
+
+        def quick():
+            yield Timeout(1.0)
+
+        p = Process(sim, quick())
+        sim.run()
+        with pytest.raises(ProcessError):
+            p.interrupt()
+
+
+class TestComposites:
+    def test_allof_waits_for_slowest(self):
+        sim = Simulator()
+        results = []
+
+        def worker():
+            values = yield AllOf(Timeout(1.0, value="a"), Timeout(3.0, value="b"))
+            results.append((values, sim.now))
+
+        Process(sim, worker())
+        sim.run()
+        assert results == [(["a", "b"], 3.0)]
+
+    def test_anyof_returns_first_with_index(self):
+        sim = Simulator()
+        results = []
+
+        def worker():
+            got = yield AnyOf(Timeout(5.0, value="slow"), Timeout(2.0, value="fast"))
+            results.append((got, sim.now))
+
+        Process(sim, worker())
+        sim.run()
+        assert results == [((1, "fast"), 2.0)]
+
+    def test_anyof_cancels_losers(self):
+        sim = Simulator()
+
+        def worker():
+            yield AnyOf(Timeout(5.0), Timeout(2.0))
+
+        Process(sim, worker())
+        sim.run()
+        # the losing 5.0 timeout must not leave the clock at 5.0
+        assert sim.now == 2.0
+
+    def test_empty_composites_raise(self):
+        with pytest.raises(ProcessError):
+            AllOf()
+        with pytest.raises(ProcessError):
+            AnyOf()
+
+    def test_allof_mixed_children(self):
+        sim = Simulator()
+        s = Signal()
+        results = []
+
+        def child():
+            yield Timeout(1.0)
+            return "child"
+
+        def worker():
+            values = yield AllOf(Timeout(2.0, value="t"), Process(sim, child()), s)
+            results.append((values, sim.now))
+
+        Process(sim, worker())
+        sim.schedule(4.0, s.fire, "sig")
+        sim.run()
+        assert results == [(["t", "child", "sig"], 4.0)]

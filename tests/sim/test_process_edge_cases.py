@@ -1,0 +1,208 @@
+"""Edge-case tests for the process layer: failure propagation through
+composites, interrupting signal waits, joining already-failed processes."""
+
+import pytest
+
+from repro.errors import ProcessError
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Interrupt,
+    Process,
+    ProcessExit,
+    Resource,
+    Signal,
+    Simulator,
+    Store,
+    Timeout,
+)
+
+
+class TestFailurePropagation:
+    def test_join_process_that_already_failed(self):
+        sim = Simulator()
+        caught = []
+
+        def bad():
+            yield Timeout(1.0)
+            raise ValueError("early death")
+
+        def late_joiner(child):
+            yield Timeout(5.0)
+            try:
+                yield child
+            except ValueError as exc:
+                caught.append(str(exc))
+
+        child = Process(sim, bad())
+        parent = Process(sim, late_joiner(child))
+
+        # the child fails at t=1 with a joiner not yet attached; the
+        # exception is held for delivery when the join happens at t=5
+        def run():
+            sim.run()
+
+        # child has no joiner at failure time -> raises out of run
+        with pytest.raises(ValueError, match="early death"):
+            run()
+        assert child.state is ProcessExit.FAILED
+        # resume: the parent joins the failed child and catches lazily
+        sim.run()
+        assert caught == ["early death"]
+
+    def test_failed_child_inside_allof_propagates(self):
+        sim = Simulator()
+        seen = []
+
+        def bad():
+            yield Timeout(1.0)
+            raise RuntimeError("child blew up")
+
+        def parent():
+            try:
+                yield AllOf(Timeout(5.0), Process(sim, bad()))
+            except RuntimeError as exc:
+                seen.append((str(exc), sim.now))
+
+        Process(sim, parent())
+        sim.run()
+        assert seen == [("child blew up", 1.0)]
+
+    def test_nested_process_chain_propagates(self):
+        sim = Simulator()
+        seen = []
+
+        def leaf():
+            yield Timeout(1.0)
+            raise KeyError("leaf")
+
+        def middle():
+            yield Process(sim, leaf())
+
+        def root():
+            try:
+                yield Process(sim, middle())
+            except KeyError:
+                seen.append(sim.now)
+
+        Process(sim, root())
+        sim.run()
+        assert seen == [1.0]
+
+
+class TestInterruptDuringWaits:
+    def test_interrupt_while_waiting_on_signal(self):
+        sim = Simulator()
+        s = Signal()
+        log = []
+
+        def waiter():
+            try:
+                yield s
+            except Interrupt as exc:
+                log.append(exc.cause)
+
+        p = Process(sim, waiter())
+        sim.schedule(2.0, p.interrupt, "enough")
+        sim.run()
+        assert log == ["enough"]
+        assert s.waiter_count == 0  # unsubscribed cleanly
+
+    def test_interrupt_while_waiting_on_resource(self):
+        sim = Simulator()
+        r = Resource(sim, capacity=1)
+        order = []
+
+        def holder():
+            yield r.request()
+            yield Timeout(10.0)
+            r.release()
+
+        def impatient():
+            try:
+                yield r.request()
+                order.append("got it")
+                r.release()
+            except Interrupt:
+                order.append("gave up")
+
+        def patient():
+            yield r.request()
+            order.append("patient served")
+            r.release()
+
+        Process(sim, holder())
+        p = Process(sim, impatient())
+        Process(sim, patient())
+        sim.schedule(2.0, p.interrupt)
+        sim.run()
+        # the impatient waiter withdrew; the patient one got the resource
+        assert order == ["gave up", "patient served"]
+        assert r.queue_length == 0
+
+    def test_interrupt_while_waiting_on_store_get(self):
+        sim = Simulator()
+        store = Store(sim)
+        log = []
+
+        def getter():
+            try:
+                yield store.get()
+            except Interrupt:
+                log.append("cancelled")
+
+        p = Process(sim, getter())
+        sim.schedule(1.0, p.interrupt)
+        sim.schedule(2.0, store.put, "late item")
+        sim.run()
+        assert log == ["cancelled"]
+        assert len(store) == 1  # nobody consumed the late item
+
+
+class TestCompositeEdgeCases:
+    def test_anyof_with_already_finished_process(self):
+        sim = Simulator()
+        results = []
+
+        def quick():
+            yield Timeout(1.0)
+            return "done"
+
+        child = Process(sim, quick())
+
+        def parent():
+            yield Timeout(5.0)  # child finishes long before
+            got = yield AnyOf(child, Timeout(100.0))
+            results.append((got, sim.now))
+
+        Process(sim, parent())
+        sim.run()
+        assert results == [((0, "done"), 5.0)]
+        assert sim.now == 5.0  # the losing timeout was cancelled
+
+    def test_allof_single_child(self):
+        sim = Simulator()
+        results = []
+
+        def parent():
+            values = yield AllOf(Timeout(2.0, value="only"))
+            results.append(values)
+
+        Process(sim, parent())
+        sim.run()
+        assert results == [["only"]]
+
+    def test_deeply_nested_composites(self):
+        sim = Simulator()
+        results = []
+
+        def parent():
+            got = yield AllOf(
+                AnyOf(Timeout(10.0, value="slow"), Timeout(1.0, value="fast")),
+                AllOf(Timeout(2.0, value="a"), Timeout(3.0, value="b")),
+            )
+            results.append((got, sim.now))
+
+        Process(sim, parent())
+        sim.run()
+        assert results == [([(1, "fast"), ["a", "b"]], 3.0)]

@@ -1,0 +1,153 @@
+"""Unit tests for Resource and Store."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Process, Resource, Simulator, Store, Timeout
+
+
+class TestResource:
+    def test_capacity_validation(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            Resource(sim, capacity=0)
+
+    def test_immediate_grant_when_free(self):
+        sim = Simulator()
+        r = Resource(sim, capacity=2)
+        granted = []
+
+        def worker():
+            yield r.request()
+            granted.append(sim.now)
+
+        Process(sim, worker())
+        sim.run()
+        assert granted == [0.0]
+        assert r.in_use == 1
+        assert r.available == 1
+
+    def test_fifo_queueing_serializes_holders(self):
+        sim = Simulator()
+        r = Resource(sim, capacity=1)
+        order = []
+
+        def worker(name, hold):
+            yield r.request()
+            order.append((name, sim.now))
+            yield Timeout(hold)
+            r.release()
+
+        Process(sim, worker("a", 2.0))
+        Process(sim, worker("b", 1.0))
+        Process(sim, worker("c", 1.0))
+        sim.run()
+        assert order == [("a", 0.0), ("b", 2.0), ("c", 3.0)]
+
+    def test_release_without_grant_raises(self):
+        sim = Simulator()
+        r = Resource(sim)
+        with pytest.raises(SimulationError):
+            r.release()
+
+    def test_queue_length(self):
+        sim = Simulator()
+        r = Resource(sim, capacity=1)
+
+        def holder():
+            yield r.request()
+            yield Timeout(10.0)
+            r.release()
+
+        def waiter():
+            yield r.request()
+            r.release()
+
+        Process(sim, holder())
+        Process(sim, waiter())
+        Process(sim, waiter())
+        sim.run(until=1.0)
+        assert r.queue_length == 2
+        sim.run()
+        assert r.queue_length == 0
+
+    def test_multiunit_capacity_allows_parallel_holders(self):
+        sim = Simulator()
+        r = Resource(sim, capacity=3)
+        starts = []
+
+        def worker(i):
+            yield r.request()
+            starts.append((i, sim.now))
+            yield Timeout(5.0)
+            r.release()
+
+        for i in range(4):
+            Process(sim, worker(i))
+        sim.run()
+        # first three start immediately, fourth at 5.0
+        assert starts[:3] == [(0, 0.0), (1, 0.0), (2, 0.0)]
+        assert starts[3] == (3, 5.0)
+
+
+class TestStore:
+    def test_put_then_get(self):
+        sim = Simulator()
+        s = Store(sim)
+        got = []
+        s.put("x")
+
+        def getter():
+            got.append((yield s.get()))
+
+        Process(sim, getter())
+        sim.run()
+        assert got == ["x"]
+
+    def test_get_blocks_until_put(self):
+        sim = Simulator()
+        s = Store(sim)
+        got = []
+
+        def getter():
+            item = yield s.get()
+            got.append((item, sim.now))
+
+        Process(sim, getter())
+        sim.schedule(4.0, s.put, "late")
+        sim.run()
+        assert got == [("late", 4.0)]
+
+    def test_fifo_order_of_items_and_getters(self):
+        sim = Simulator()
+        s = Store(sim)
+        got = []
+
+        def getter(name):
+            item = yield s.get()
+            got.append((name, item))
+
+        Process(sim, getter("g1"))
+        Process(sim, getter("g2"))
+        sim.schedule(1.0, s.put, "first")
+        sim.schedule(2.0, s.put, "second")
+        sim.run()
+        assert got == [("g1", "first"), ("g2", "second")]
+
+    def test_len_counts_buffered_items(self):
+        sim = Simulator()
+        s = Store(sim)
+        s.put(1)
+        s.put(2)
+        assert len(s) == 2
+
+    def test_getter_count(self):
+        sim = Simulator()
+        s = Store(sim)
+
+        def getter():
+            yield s.get()
+
+        Process(sim, getter())
+        sim.run(until=0.0)
+        assert s.getter_count == 1

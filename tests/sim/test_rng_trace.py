@@ -1,0 +1,118 @@
+"""Unit tests for RandomStreams and SimTrace."""
+
+import numpy as np
+import pytest
+
+from repro.sim import RandomStreams, SimTrace
+
+
+class TestRandomStreams:
+    def test_same_seed_and_name_reproduces(self):
+        a = RandomStreams(42).get("arrivals").random(10)
+        b = RandomStreams(42).get("arrivals").random(10)
+        assert np.array_equal(a, b)
+
+    def test_different_names_are_independent(self):
+        streams = RandomStreams(42)
+        a = streams.get("arrivals").random(10)
+        b = streams.get("durations").random(10)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RandomStreams(1).get("x").random(10)
+        b = RandomStreams(2).get("x").random(10)
+        assert not np.array_equal(a, b)
+
+    def test_get_caches_generator_state(self):
+        streams = RandomStreams(0)
+        g1 = streams.get("s")
+        g1.random(5)
+        g2 = streams.get("s")
+        assert g1 is g2  # sequential draws continue, not restart
+
+    def test_fresh_restarts_stream(self):
+        streams = RandomStreams(0)
+        first = streams.fresh("s").random(5)
+        streams.get("s").random(3)  # advance the cached one
+        again = streams.fresh("s").random(5)
+        assert np.array_equal(first, again)
+
+    def test_spawn_children_mutually_independent(self):
+        children = RandomStreams(7).spawn("reps", 3)
+        draws = [c.random(8) for c in children]
+        assert not np.array_equal(draws[0], draws[1])
+        assert not np.array_equal(draws[1], draws[2])
+
+    def test_spawn_reproducible(self):
+        a = [g.random(4) for g in RandomStreams(7).spawn("reps", 2)]
+        b = [g.random(4) for g in RandomStreams(7).spawn("reps", 2)]
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+    def test_derive_changes_seed_deterministically(self):
+        base = RandomStreams(5)
+        d1 = base.derive(1)
+        d2 = base.derive(1)
+        assert d1.seed == d2.seed != base.seed
+
+    def test_non_int_seed_rejected(self):
+        with pytest.raises(TypeError):
+            RandomStreams("abc")
+
+    def test_spawn_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            RandomStreams(0).spawn("x", -1)
+
+
+class TestSimTrace:
+    def test_records_in_order(self):
+        t = SimTrace()
+        t.record(1.0, "a", None, 1)
+        t.record(2.0, "b", "tag", 2)
+        assert len(t) == 2
+        assert [r.kind for r in t] == ["a", "b"]
+        assert t[1].tag == "tag"
+
+    def test_of_kind_filters(self):
+        t = SimTrace()
+        t.record(1.0, "x", None)
+        t.record(2.0, "y", None)
+        t.record(3.0, "x", None)
+        assert [r.time for r in t.of_kind("x")] == [1.0, 3.0]
+
+    def test_kinds_histogram(self):
+        t = SimTrace()
+        for kind in ["a", "b", "a"]:
+            t.record(0.0, kind, None)
+        assert t.kinds() == {"a": 2, "b": 1}
+
+    def test_capacity_drops_oldest(self):
+        t = SimTrace(capacity=3)
+        for i in range(5):
+            t.record(float(i), "k", None, i)
+        assert len(t) == 3
+        assert [r.payload for r in t] == [2, 3, 4]
+        assert t.dropped == 2
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            SimTrace(capacity=0)
+
+    def test_filter_predicate(self):
+        t = SimTrace(filter=lambda kind, tag: kind == "keep")
+        t.record(0.0, "keep", None)
+        t.record(0.0, "drop", None)
+        assert [r.kind for r in t] == ["keep"]
+
+    def test_clear(self):
+        t = SimTrace(capacity=1)
+        t.record(0.0, "a", None)
+        t.record(0.0, "b", None)
+        t.clear()
+        assert len(t) == 0 and t.dropped == 0
+
+    def test_dump_renders_lines(self):
+        t = SimTrace()
+        t.record(1.5, "fire", "tag", "payload")
+        out = t.dump()
+        assert "fire" in out and "tag" in out

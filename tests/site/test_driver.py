@@ -1,0 +1,122 @@
+"""Integration tests: full traces through simulate_site."""
+
+import numpy as np
+import pytest
+
+from repro.scheduling import FCFS, FirstPrice, FirstReward, PresentValue, SRPT
+from repro.site import SlackAdmission, simulate_site
+from repro.workload import Trace, economy_spec, generate_trace, millennium_spec
+
+
+def small_economy(n=300, load=1.0, **kwargs):
+    return generate_trace(economy_spec(n_jobs=n, load_factor=load, **kwargs), seed=42)
+
+
+class TestEndToEnd:
+    def test_all_tasks_reach_terminal_state(self):
+        trace = small_economy()
+        result = simulate_site(trace, FirstPrice(), processors=16)
+        assert all(t.finished for t in result.tasks)
+        assert result.ledger.completed == len(trace)
+        assert result.ledger.rejected == 0
+
+    def test_deterministic_given_same_trace(self):
+        trace = small_economy()
+        a = simulate_site(trace, FirstPrice(), processors=16)
+        b = simulate_site(trace, FirstPrice(), processors=16)
+        assert a.total_yield == b.total_yield
+        assert a.sim.now == b.sim.now
+
+    def test_yield_bounded_by_max_value(self):
+        trace = small_economy()
+        result = simulate_site(trace, FirstPrice(), processors=16)
+        assert result.total_yield <= trace.value.sum() + 1e-9
+
+    def test_heuristics_agree_on_underloaded_site(self):
+        # with virtually no contention every heuristic earns ~max value
+        trace = generate_trace(economy_spec(n_jobs=100, load_factor=0.05), seed=1)
+        totals = {
+            h.name: simulate_site(trace, h, processors=16).total_yield
+            for h in [FCFS(), SRPT(), FirstPrice(), PresentValue(0.01)]
+        }
+        values = list(totals.values())
+        assert max(values) - min(values) < 0.05 * trace.value.sum()
+        assert min(values) > 0.9 * trace.value.sum()
+
+    def test_value_scheduling_beats_fcfs_when_penalties_bounded(self):
+        trace = small_economy(n=500, load=1.5, penalty_bound=0.0)
+        fcfs = simulate_site(trace, FCFS(), processors=16).total_yield
+        fp = simulate_site(trace, FirstPrice(), processors=16).total_yield
+        assert fp > fcfs
+
+    def test_cost_based_beats_firstprice_when_penalties_unbounded(self):
+        # the Figure 5 effect: with unbounded penalties, ignoring cost is
+        # catastrophic — FirstReward(alpha=0) dominates FirstPrice
+        trace = small_economy(n=500, load=1.5)
+        fp = simulate_site(trace, FirstPrice(), processors=16).total_yield
+        fr = simulate_site(
+            trace, FirstReward(alpha=0.0, discount_rate=0.01), processors=16
+        ).total_yield
+        assert fr > fp
+
+    def test_makespan_at_least_work_over_capacity(self):
+        trace = small_economy()
+        result = simulate_site(trace, FCFS(), processors=16)
+        assert result.sim.now >= trace.total_work / 16 - 1e-6
+
+    def test_keep_records_false_still_aggregates(self):
+        trace = small_economy(n=100)
+        result = simulate_site(trace, FirstPrice(), processors=16, keep_records=False)
+        assert result.ledger.records == []
+        assert result.ledger.completed == 100
+        assert result.total_yield != 0.0
+
+
+class TestWithAdmission:
+    def test_overload_sheds_tasks(self):
+        trace = small_economy(n=500, load=3.0)
+        result = simulate_site(
+            trace,
+            FirstReward(alpha=0.3, discount_rate=0.01),
+            processors=16,
+            admission=SlackAdmission(threshold=180.0, discount_rate=0.01),
+        )
+        assert result.ledger.rejected > 0
+        assert result.ledger.completed + result.ledger.rejected == 500
+
+    def test_admission_improves_overloaded_yield(self):
+        trace = small_economy(n=600, load=3.0)
+        without = simulate_site(trace, FirstPrice(), processors=16)
+        trace2 = small_economy(n=600, load=3.0)
+        with_ac = simulate_site(
+            trace2,
+            FirstPrice(),
+            processors=16,
+            admission=SlackAdmission(threshold=180.0, discount_rate=0.01),
+        )
+        assert with_ac.yield_rate > without.yield_rate
+
+    def test_very_high_threshold_rejects_nearly_everything(self):
+        trace = small_economy(n=200)
+        result = simulate_site(
+            trace,
+            FirstPrice(),
+            processors=16,
+            admission=SlackAdmission(threshold=1e9),
+        )
+        assert result.ledger.rejected >= 199  # zero-decay tasks could sneak in
+
+
+class TestMillenniumMix:
+    def test_preemptive_run_completes(self):
+        trace = generate_trace(millennium_spec(n_jobs=320), seed=7)
+        result = simulate_site(trace, PresentValue(0.01), processors=16, preemption=True)
+        assert result.ledger.completed == 320
+        # bounded at zero: total yield can never be negative
+        assert result.total_yield >= 0.0
+
+    def test_bounded_yields_never_below_floor(self):
+        trace = generate_trace(millennium_spec(n_jobs=160), seed=8)
+        result = simulate_site(trace, FirstPrice(), processors=16)
+        for record in result.ledger.records:
+            assert record.realized_yield >= -1e-9

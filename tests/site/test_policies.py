@@ -1,0 +1,64 @@
+"""Tests for the site policy presets."""
+
+import pytest
+
+from repro.scheduling import FirstReward, PresentValue
+from repro.sim import Simulator
+from repro.site.policies import (
+    SitePolicy,
+    economy_policy,
+    millennium_policy,
+    run_all_policy,
+)
+
+
+class TestPresets:
+    def test_millennium_policy_shape(self):
+        policy = millennium_policy(discount_rate=0.02)
+        assert isinstance(policy.heuristic, PresentValue)
+        assert policy.heuristic.discount_rate == 0.02
+        assert policy.preemption
+        assert policy.admission is None
+
+    def test_run_all_policy_shape(self):
+        policy = run_all_policy(alpha=0.4)
+        assert isinstance(policy.heuristic, FirstReward)
+        assert policy.heuristic.alpha == 0.4
+        assert policy.admission is None
+        assert not policy.preemption
+
+    def test_economy_policy_shape(self):
+        policy = economy_policy(slack_threshold=250.0)
+        assert policy.admission is not None
+        assert policy.admission.threshold == 250.0
+
+    def test_build_instantiates_site(self):
+        sim = Simulator()
+        site = economy_policy().build(sim, processors=4, site_id="x")
+        assert site.processors.count == 4
+        assert site.site_id == "x"
+        assert site.admission is not None
+
+    def test_with_admission_override(self):
+        policy = economy_policy().with_admission(None)
+        assert policy.admission is None
+        # original untouched (frozen dataclass semantics)
+        assert economy_policy().admission is not None
+
+    def test_describe_mentions_components(self):
+        text = economy_policy().describe()
+        assert "firstreward" in text
+        assert "SlackAdmission" in text
+        assert millennium_policy().describe().count("preemption") == 1
+
+    def test_policy_end_to_end(self):
+        from repro.workload import economy_spec, generate_trace
+
+        sim = Simulator()
+        site = economy_policy(slack_threshold=100.0).build(sim, processors=8)
+        trace = generate_trace(economy_spec(n_jobs=100, load_factor=2.0, processors=8), seed=1)
+        for task in trace.to_tasks():
+            sim.schedule_at(task.arrival, site.submit, task)
+        sim.run()
+        assert site.ledger.completed + site.ledger.rejected == 100
+        assert site.ledger.rejected > 0

@@ -1,0 +1,192 @@
+"""Integration-grade unit tests for the TaskServiceSite engine.
+
+These pin down exact dispatch orders, preemption behaviour, and yield
+accounting on small hand-computed scenarios.
+"""
+
+import math
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.scheduling import FCFS, SRPT, FirstPrice
+from repro.sim import Simulator
+from repro.site import TaskServiceSite
+from repro.tasks import Task, TaskState
+from repro.valuefn import LinearDecayValueFunction
+
+
+def make_task(arrival, runtime, value=100.0, decay=1.0, bound=None):
+    return Task(arrival, runtime, LinearDecayValueFunction(value, decay, bound))
+
+
+def run_site(tasks, heuristic, processors=1, **site_kwargs):
+    sim = Simulator()
+    site = TaskServiceSite(sim, processors, heuristic, **site_kwargs)
+    for t in tasks:
+        sim.schedule_at(t.arrival, site.submit, t)
+    sim.run()
+    return site, sim
+
+
+class TestBasicDispatch:
+    def test_single_task_runs_immediately(self):
+        t = make_task(0.0, 10.0)
+        site, sim = run_site([t], FCFS())
+        assert t.state is TaskState.COMPLETED
+        assert t.first_start == 0.0
+        assert t.completion == 10.0
+        assert t.realized_yield == 100.0
+        assert sim.now == 10.0
+
+    def test_fcfs_serializes_in_arrival_order(self):
+        a = make_task(0.0, 10.0)
+        b = make_task(1.0, 5.0)
+        c = make_task(2.0, 5.0)
+        run_site([a, b, c], FCFS())
+        assert (a.first_start, b.first_start, c.first_start) == (0.0, 10.0, 15.0)
+
+    def test_srpt_runs_short_first_among_queued(self):
+        a = make_task(0.0, 10.0)       # starts immediately (sole task)
+        short = make_task(1.0, 2.0)
+        long = make_task(1.0, 8.0)
+        run_site([a, short, long], SRPT())
+        assert short.first_start == 10.0
+        assert long.first_start == 12.0
+
+    def test_two_processors_run_in_parallel(self):
+        a = make_task(0.0, 10.0)
+        b = make_task(0.0, 10.0)
+        site, sim = run_site([a, b], FCFS(), processors=2)
+        assert a.first_start == 0.0 and b.first_start == 0.0
+        assert sim.now == 10.0
+
+    def test_yield_accounts_for_queueing_delay(self):
+        a = make_task(0.0, 10.0, value=100.0, decay=2.0)
+        b = make_task(0.0, 10.0, value=100.0, decay=2.0)
+        run_site([a, b], FCFS())
+        assert a.realized_yield == 100.0
+        # b waits 10 => completion 20, delay 10 => 100 - 20
+        assert b.realized_yield == pytest.approx(80.0)
+
+    def test_firstprice_picks_highest_unit_gain(self):
+        blocker = make_task(0.0, 10.0)
+        cheap = make_task(1.0, 10.0, value=50.0, decay=0.5)
+        rich = make_task(2.0, 10.0, value=500.0, decay=0.5)
+        run_site([blocker, cheap, rich], FirstPrice())
+        assert rich.first_start == 10.0
+        assert cheap.first_start == 20.0
+
+    def test_ledger_totals(self):
+        a = make_task(0.0, 10.0, decay=2.0)
+        b = make_task(0.0, 10.0, decay=2.0)
+        site, _ = run_site([a, b], FCFS())
+        ledger = site.ledger
+        assert ledger.submitted == 2
+        assert ledger.accepted == 2
+        assert ledger.completed == 2
+        assert ledger.total_yield == pytest.approx(180.0)
+        assert ledger.active_interval == pytest.approx(20.0)
+        assert ledger.yield_rate == pytest.approx(9.0)
+
+    def test_submit_before_arrival_rejected(self):
+        sim = Simulator()
+        site = TaskServiceSite(sim, 1, FCFS())
+        with pytest.raises(SchedulingError):
+            site.submit(make_task(5.0, 1.0))
+
+    def test_all_work_done(self):
+        t = make_task(0.0, 10.0)
+        site, _ = run_site([t], FCFS())
+        assert site.all_work_done()
+        assert site.queue_length == 0 and site.running_count == 0
+
+
+class TestPreemption:
+    def test_higher_priority_arrival_preempts(self):
+        # FirstPrice with preemption: a hugely valuable arrival evicts the
+        # low-value running task.
+        low = make_task(0.0, 100.0, value=10.0, decay=0.01)
+        high = make_task(10.0, 10.0, value=1000.0, decay=0.01)
+        run_site([low, high], FirstPrice(), preemption=True)
+        assert low.preemptions == 1
+        assert high.first_start == 10.0
+        assert high.completion == 20.0
+        # low resumes with 90 remaining after high finishes
+        assert low.completion == pytest.approx(110.0)
+
+    def test_no_preemption_when_disabled(self):
+        low = make_task(0.0, 100.0, value=10.0, decay=0.01)
+        high = make_task(10.0, 10.0, value=1000.0, decay=0.01)
+        run_site([low, high], FirstPrice(), preemption=False)
+        assert low.preemptions == 0
+        assert high.first_start == 100.0
+
+    def test_equal_priority_does_not_thrash(self):
+        a = make_task(0.0, 10.0, value=100.0, decay=0.0)
+        b = make_task(1.0, 10.0, value=100.0, decay=0.0)
+        run_site([a, b], FirstPrice(), preemption=True)
+        assert a.preemptions == 0 and b.preemptions == 0
+
+    def test_preempted_yield_reflects_total_delay(self):
+        low = make_task(0.0, 100.0, value=100.0, decay=0.5)
+        high = make_task(10.0, 10.0, value=1000.0, decay=0.01)
+        run_site([low, high], FirstPrice(), preemption=True)
+        # low: completion 110, best case 100 => delay 10 => 100 - 5
+        assert low.realized_yield == pytest.approx(95.0)
+
+    def test_ledger_counts_preemptions(self):
+        low = make_task(0.0, 100.0, value=10.0, decay=0.01)
+        high = make_task(10.0, 10.0, value=1000.0, decay=0.01)
+        site, _ = run_site([low, high], FirstPrice(), preemption=True)
+        assert site.ledger.preemptions == 1
+
+    def test_preemption_converges_with_population_dependent_scores(self):
+        # regression: FirstReward's opportunity cost depends on the
+        # competitor set; scoring pending and running tasks in separate
+        # populations used to oscillate forever.  A burst of urgent tasks
+        # arriving over a saturated site must terminate.
+        from repro.scheduling import FirstReward
+
+        tasks = [make_task(0.0, 50.0, value=40.0, decay=40.0 / 9.0) for _ in range(6)]
+        tasks += [
+            make_task(float(5 + i), 4.0, value=400.0, decay=100.0) for i in range(12)
+        ]
+        site, sim = run_site(
+            tasks, FirstReward(alpha=0.3, discount_rate=0.05),
+            processors=4, preemption=True,
+        )
+        assert site.all_work_done()
+
+    def test_preemption_prefers_worst_running_task(self):
+        a = make_task(0.0, 100.0, value=10.0, decay=0.01)    # worst
+        b = make_task(0.0, 100.0, value=500.0, decay=0.01)
+        high = make_task(10.0, 10.0, value=5000.0, decay=0.01)
+        run_site([a, b, high], FirstPrice(), processors=2, preemption=True)
+        assert a.preemptions == 1
+        assert b.preemptions == 0
+
+
+class TestDiscardExpired:
+    def test_expired_bounded_task_cancelled_not_run(self):
+        blocker = make_task(0.0, 100.0, value=1000.0, decay=0.1)
+        # expires at delay 10 (value 10, decay 1, bound 0); queued behind blocker
+        doomed = make_task(0.0, 5.0, value=10.0, decay=1.0, bound=0.0)
+        site, _ = run_site([blocker, doomed], FirstPrice(), discard_expired=True)
+        assert doomed.state is TaskState.CANCELLED
+        assert doomed.realized_yield == 0.0
+        assert site.ledger.cancelled == 1
+
+    def test_unbounded_tasks_never_discarded(self):
+        blocker = make_task(0.0, 100.0, value=1000.0, decay=0.1)
+        late = make_task(0.0, 5.0, value=10.0, decay=1.0)  # unbounded
+        run_site([blocker, late], FirstPrice(), discard_expired=True)
+        assert late.state is TaskState.COMPLETED
+        assert late.realized_yield < 0  # paid a penalty but ran
+
+    def test_discard_disabled_runs_expired_tasks(self):
+        blocker = make_task(0.0, 100.0, value=1000.0, decay=0.1)
+        doomed = make_task(0.0, 5.0, value=10.0, decay=1.0, bound=0.0)
+        run_site([blocker, doomed], FirstPrice(), discard_expired=False)
+        assert doomed.state is TaskState.COMPLETED
+        assert doomed.realized_yield == 0.0

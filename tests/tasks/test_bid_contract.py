@@ -1,0 +1,113 @@
+"""Unit tests for bids and contracts (§2/§6 protocol objects)."""
+
+import pytest
+
+from repro.errors import ContractViolation, MarketError
+from repro.tasks import Contract, ServerBid, TaskBid
+
+
+def make_bid(**kwargs):
+    defaults = dict(runtime=10.0, value=100.0, decay=2.0, bound=None, client_id="c1")
+    defaults.update(kwargs)
+    return TaskBid(**defaults)
+
+
+def make_server_bid(bid, completion=15.0, price=90.0, slack=100.0, site="s1"):
+    return ServerBid(
+        site_id=site,
+        bid_id=bid.bid_id,
+        expected_completion=completion,
+        expected_price=price,
+        expected_slack=slack,
+    )
+
+
+class TestTaskBid:
+    def test_tuple_form_matches_paper(self):
+        bid = make_bid(bound=5.0)
+        assert bid.as_tuple() == (10.0, 100.0, 2.0, 5.0)
+
+    def test_value_function_materialization(self):
+        vf = make_bid(bound=0.0).value_function()
+        assert vf.value == 100.0 and vf.decay == 2.0 and vf.penalty_bound == 0.0
+
+    def test_invalid_runtime_rejected(self):
+        with pytest.raises(MarketError):
+            make_bid(runtime=0.0)
+
+    def test_invalid_demand_rejected(self):
+        with pytest.raises(MarketError):
+            make_bid(demand=0)
+
+    def test_invalid_value_function_rejected(self):
+        with pytest.raises(Exception):
+            make_bid(decay=-1.0)
+
+    def test_bid_ids_unique(self):
+        assert make_bid().bid_id != make_bid().bid_id
+
+
+class TestServerBid:
+    def test_nonfinite_completion_rejected(self):
+        bid = make_bid()
+        with pytest.raises(MarketError):
+            make_server_bid(bid, completion=float("inf"))
+
+
+class TestContract:
+    def test_mismatched_bid_ids_rejected(self):
+        a, b = make_bid(), make_bid()
+        with pytest.raises(ContractViolation):
+            Contract(a, make_server_bid(b), signed_at=0.0)
+
+    def test_on_time_settlement_pays_full_value(self):
+        bid = make_bid()
+        contract = Contract(bid, make_server_bid(bid, completion=15.0), signed_at=0.0)
+        # released at 5, runtime 10 => no delay when completing at 15
+        price = contract.settle(completion=15.0, release=5.0)
+        assert price == 100.0
+        assert contract.on_time
+        assert contract.settled
+
+    def test_late_settlement_decays_price(self):
+        bid = make_bid()
+        contract = Contract(bid, make_server_bid(bid, completion=15.0), signed_at=0.0)
+        price = contract.settle(completion=20.0, release=5.0)  # 5 late
+        assert price == pytest.approx(100.0 - 2.0 * 5.0)
+        assert not contract.on_time
+
+    def test_double_settle_rejected(self):
+        bid = make_bid()
+        contract = Contract(bid, make_server_bid(bid), signed_at=0.0)
+        contract.settle(completion=15.0, release=5.0)
+        with pytest.raises(ContractViolation):
+            contract.settle(completion=16.0, release=5.0)
+
+    def test_settlement_before_signing_rejected(self):
+        bid = make_bid()
+        contract = Contract(bid, make_server_bid(bid), signed_at=10.0)
+        with pytest.raises(ContractViolation):
+            contract.settle(completion=5.0, release=0.0)
+
+    def test_breach_settles_at_floor_when_bounded(self):
+        bid = make_bid(bound=25.0)
+        contract = Contract(bid, make_server_bid(bid), signed_at=0.0)
+        assert contract.settle_breach(now=50.0) == -25.0
+        assert contract.settled
+
+    def test_breach_refused_when_unbounded(self):
+        bid = make_bid(bound=None)
+        contract = Contract(bid, make_server_bid(bid), signed_at=0.0)
+        with pytest.raises(ContractViolation):
+            contract.settle_breach(now=50.0)
+
+    def test_price_at_is_pure(self):
+        bid = make_bid()
+        contract = Contract(bid, make_server_bid(bid), signed_at=0.0)
+        assert contract.price_at(completion=15.0, release=5.0) == 100.0
+        assert not contract.settled
+
+    def test_on_time_false_before_settlement(self):
+        bid = make_bid()
+        contract = Contract(bid, make_server_bid(bid), signed_at=0.0)
+        assert not contract.on_time

@@ -1,0 +1,75 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig3", "fig4", "fig5", "fig6", "fig7"):
+            assert name in out
+
+
+class TestTrace:
+    def test_prints_economy_trace(self, capsys):
+        assert main(["trace", "--n-jobs", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "economy" in out
+        assert "arrival" in out and "decay" in out
+        # five data rows after the two header lines
+        assert len([l for l in out.splitlines() if l.strip()]) >= 7
+
+    def test_millennium_mix(self, capsys):
+        assert main(["trace", "--n-jobs", "4", "--mix", "millennium"]) == 0
+        assert "millennium" in capsys.readouterr().out
+
+
+class TestRunExperiment:
+    def test_fig4_tiny_run(self, capsys):
+        code = main(["fig4", "--n-jobs", "150", "--seeds", "0"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fig4" in out
+        assert "improvement_pct" in out
+        assert "quick scale" in out
+
+    def test_check_flag_prints_report(self, capsys):
+        # shape checks may fail at this tiny scale; the command must still
+        # print the report and return 0/1 accordingly
+        code = main(["fig4", "--n-jobs", "150", "--seeds", "0", "--check"])
+        out = capsys.readouterr().out
+        assert "shape checks:" in out
+        assert code in (0, 1)
+
+    def test_unknown_command_exits_with_error(self):
+        with pytest.raises(SystemExit):
+            main(["figure-nine"])
+
+    def test_reps_mode(self, capsys):
+        code = main(["fig4", "--reps", "2", "--n-jobs", "120"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "±" in out and "2 replications" in out
+
+    def test_reps_conflicts_with_check(self):
+        with pytest.raises(SystemExit):
+            main(["fig4", "--reps", "2", "--check"])
+
+
+class TestExtensionCommands:
+    def test_consolidation(self, capsys):
+        assert main(["consolidation", "--n-jobs", "150"]) == 0
+        out = capsys.readouterr().out
+        assert "consolidated" in out and "market" in out
+
+    def test_sensitivity_skews(self, capsys):
+        assert main(["sensitivity", "--n-jobs", "150"]) == 0
+        out = capsys.readouterr().out
+        assert "decay_skew" in out
+
+    def test_sensitivity_load_horizon(self, capsys):
+        assert main(["sensitivity", "--grid", "load-horizon", "--n-jobs", "150"]) == 0
+        assert "decay_horizon" in capsys.readouterr().out

@@ -1,0 +1,49 @@
+"""Smoke tests: every shipped example must run cleanly end to end.
+
+Each example is executed as a subprocess (the way a user runs it) with
+reduced job counts where the script accepts them.  These tests protect
+deliverable (b): examples that rot are worse than no examples.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+CASES = [
+    ("quickstart.py", ["--n-jobs", "150"]),
+    ("market_negotiation.py", ["--n-jobs", "60"]),
+    ("deadline_rush.py", []),
+    ("custom_value_functions.py", []),
+    ("capacity_planning.py", ["--n-jobs", "120"]),
+    ("budget_economy.py", []),
+    ("schedule_inspection.py", []),
+    ("elastic_reseller.py", ["--n-jobs", "120"]),
+    ("swf_replay.py", ["--n-jobs", "120"]),
+]
+
+
+def run_example(name: str, args: list[str]) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+
+
+@pytest.mark.parametrize("name,args", CASES, ids=[c[0] for c in CASES])
+def test_example_runs_clean(name, args):
+    result = run_example(name, args)
+    assert result.returncode == 0, f"{name} failed:\n{result.stderr[-2000:]}"
+    assert result.stdout.strip(), f"{name} produced no output"
+    assert "Traceback" not in result.stderr
+
+
+def test_every_example_file_is_covered():
+    shipped = {p.name for p in EXAMPLES.glob("*.py")}
+    covered = {name for name, _ in CASES}
+    assert shipped == covered, f"uncovered examples: {shipped - covered}"

@@ -1,0 +1,109 @@
+"""Unit tests for the piecewise-linear (variable-rate) extension."""
+
+import pytest
+
+from repro.errors import ValueFunctionError
+from repro.valuefn import LinearDecayValueFunction, PiecewiseLinearValueFunction
+
+
+def grace_vf():
+    # full value for 10 units, decays to 0 at 30, penalty capped at -50 at 80
+    return PiecewiseLinearValueFunction([(0, 100), (10, 100), (30, 0), (80, -50)])
+
+
+class TestConstruction:
+    def test_requires_first_breakpoint_at_zero(self):
+        with pytest.raises(ValueFunctionError):
+            PiecewiseLinearValueFunction([(1, 100)])
+
+    def test_requires_increasing_delays(self):
+        with pytest.raises(ValueFunctionError):
+            PiecewiseLinearValueFunction([(0, 100), (5, 90), (5, 80)])
+
+    def test_requires_nonincreasing_yields(self):
+        with pytest.raises(ValueFunctionError):
+            PiecewiseLinearValueFunction([(0, 100), (5, 110)])
+
+    def test_requires_at_least_one_point(self):
+        with pytest.raises(ValueFunctionError):
+            PiecewiseLinearValueFunction([])
+
+    def test_rejects_nonfinite(self):
+        with pytest.raises(ValueFunctionError):
+            PiecewiseLinearValueFunction([(0, float("inf"))])
+
+    def test_single_point_is_constant(self):
+        vf = PiecewiseLinearValueFunction([(0, 42)])
+        assert vf.yield_at(0) == 42
+        assert vf.yield_at(1e9) == 42
+        assert vf.decay_at(5.0) == 0.0
+        assert vf.expiration_delay == 0.0
+
+
+class TestEvaluation:
+    def test_grace_period_holds_value(self):
+        vf = grace_vf()
+        assert vf.yield_at(0.0) == 100.0
+        assert vf.yield_at(10.0) == 100.0
+        assert vf.max_value == 100.0
+
+    def test_interpolation_between_breakpoints(self):
+        vf = grace_vf()
+        assert vf.yield_at(20.0) == pytest.approx(50.0)
+        assert vf.yield_at(55.0) == pytest.approx(-25.0)
+
+    def test_constant_tail_after_last_breakpoint(self):
+        vf = grace_vf()
+        assert vf.yield_at(80.0) == -50.0
+        assert vf.yield_at(1e6) == -50.0
+        assert vf.floor == -50.0
+
+    def test_decay_per_segment(self):
+        vf = grace_vf()
+        assert vf.decay_at(5.0) == 0.0       # grace period
+        assert vf.decay_at(20.0) == pytest.approx(5.0)   # (100-0)/(30-10)
+        assert vf.decay_at(50.0) == pytest.approx(1.0)   # (0+50)/(80-30)
+        assert vf.decay_at(100.0) == 0.0     # expired
+
+    def test_expiration_at_last_breakpoint(self):
+        vf = grace_vf()
+        assert vf.expiration_delay == 80.0
+        assert vf.is_expired(80.0)
+        assert not vf.is_expired(79.9)
+        assert vf.remaining_decay_horizon(30.0) == 50.0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueFunctionError):
+            grace_vf().yield_at(-1.0)
+        with pytest.raises(ValueFunctionError):
+            grace_vf().decay_at(-1.0)
+
+    def test_monotone_nonincreasing_dense_scan(self):
+        vf = grace_vf()
+        ys = [vf.yield_at(d * 0.5) for d in range(400)]
+        assert all(a >= b - 1e-12 for a, b in zip(ys, ys[1:]))
+
+
+class TestFromLinear:
+    def test_bounded_linear_roundtrip(self):
+        lin = LinearDecayValueFunction(100.0, 2.0, penalty_bound=20.0)
+        pw = PiecewiseLinearValueFunction.from_linear(lin)
+        for d in [0.0, 10.0, 59.0, 60.0, 200.0]:
+            assert pw.yield_at(d) == pytest.approx(lin.yield_at(d))
+        assert pw.expiration_delay == lin.expiration_delay
+
+    def test_unbounded_linear_matches_within_horizon(self):
+        lin = LinearDecayValueFunction(100.0, 2.0)
+        pw = PiecewiseLinearValueFunction.from_linear(lin, horizon=1e4)
+        for d in [0.0, 123.0, 5000.0]:
+            assert pw.yield_at(d) == pytest.approx(lin.yield_at(d))
+
+    def test_zero_decay_linear(self):
+        lin = LinearDecayValueFunction(100.0, 0.0)
+        pw = PiecewiseLinearValueFunction.from_linear(lin)
+        assert pw.yield_at(1e9) == 100.0
+
+    def test_breakpoints_property(self):
+        vf = grace_vf()
+        assert vf.breakpoints[0] == (0.0, 100.0)
+        assert vf.breakpoints[-1] == (80.0, -50.0)

@@ -1,0 +1,114 @@
+"""Unit tests for the distribution toolkit."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload import (
+    ConstantDist,
+    ExponentialDist,
+    LognormalDist,
+    NormalDist,
+    ParetoDist,
+    UniformDist,
+)
+from repro.workload.distributions import make_distribution
+
+
+def rng():
+    return np.random.default_rng(7)
+
+
+SAMPLE_N = 50_000
+
+
+class TestMeans:
+    @pytest.mark.parametrize(
+        "dist",
+        [
+            ExponentialDist(100.0),
+            NormalDist(100.0, cv=0.25),
+            ConstantDist(100.0),
+            UniformDist(50.0, 150.0),
+            LognormalDist(100.0, sigma=1.0),
+            ParetoDist(100.0, alpha=2.5),
+        ],
+    )
+    def test_sample_mean_tracks_configured_mean(self, dist):
+        samples = dist.sample(rng(), SAMPLE_N)
+        assert samples.shape == (SAMPLE_N,)
+        assert samples.mean() == pytest.approx(dist.mean, rel=0.05)
+
+    @pytest.mark.parametrize(
+        "dist",
+        [
+            ExponentialDist(100.0),
+            NormalDist(100.0, cv=0.5),
+            LognormalDist(100.0),
+            ParetoDist(100.0),
+        ],
+    )
+    def test_positive_support(self, dist):
+        samples = dist.sample(rng(), SAMPLE_N)
+        assert (samples > 0).all()
+
+    def test_with_mean_rescales(self):
+        for dist in [ExponentialDist(10.0), NormalDist(10.0), ConstantDist(10.0),
+                     UniformDist(5.0, 15.0), LognormalDist(10.0), ParetoDist(10.0)]:
+            rescaled = dist.with_mean(25.0)
+            assert rescaled.mean == pytest.approx(25.0)
+            assert type(rescaled) is type(dist)
+
+    def test_normal_cv_zero_degenerate(self):
+        samples = NormalDist(42.0, cv=0.0).sample(rng(), 10)
+        assert (samples == 42.0).all()
+
+
+class TestValidation:
+    def test_exponential_rejects_bad_mean(self):
+        with pytest.raises(WorkloadError):
+            ExponentialDist(0.0)
+        with pytest.raises(WorkloadError):
+            ExponentialDist(float("nan"))
+
+    def test_normal_rejects_negative_cv(self):
+        with pytest.raises(WorkloadError):
+            NormalDist(10.0, cv=-0.1)
+
+    def test_uniform_rejects_inverted_range(self):
+        with pytest.raises(WorkloadError):
+            UniformDist(10.0, 5.0)
+
+    def test_pareto_requires_finite_mean_shape(self):
+        with pytest.raises(WorkloadError):
+            ParetoDist(10.0, alpha=1.0)
+
+    def test_negative_sample_size_rejected(self):
+        with pytest.raises(WorkloadError):
+            ExponentialDist(1.0).sample(rng(), -1)
+
+    def test_uniform_zero_mean_cannot_rescale(self):
+        with pytest.raises(WorkloadError):
+            UniformDist(-5.0, 5.0).with_mean(10.0)
+
+
+class TestFactory:
+    def test_make_by_name(self):
+        assert isinstance(make_distribution("exponential", 10.0), ExponentialDist)
+        assert isinstance(make_distribution("normal", 10.0, cv=0.1), NormalDist)
+        assert isinstance(make_distribution("constant", 10.0), ConstantDist)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(WorkloadError):
+            make_distribution("weibull", 10.0)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "dist",
+        [ExponentialDist(3.0), NormalDist(3.0), LognormalDist(3.0), ParetoDist(3.0)],
+    )
+    def test_same_rng_state_same_samples(self, dist):
+        a = dist.sample(np.random.default_rng(11), 100)
+        b = dist.sample(np.random.default_rng(11), 100)
+        assert np.array_equal(a, b)
