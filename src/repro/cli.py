@@ -28,6 +28,7 @@ PLOT_SPECS = {
     "fig5": ("alpha", "improvement_pct", "decay_skew", False),
     "fig6": ("load_factor", "yield_rate", "policy", False),
     "fig7": ("threshold", "improvement_pct", "load_factor", False),
+    "faults": ("mttf", "total_yield", "policy", True),
 }
 
 
@@ -67,6 +68,13 @@ def _build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument(
             "--plot", action="store_true", help="render the figure as an ASCII plot"
+        )
+        p.add_argument(
+            "--out",
+            default="results/faults.json" if name == "faults" else None,
+            metavar="PATH",
+            help="also write the result rows as JSON"
+            + (" (default: %(default)s)" if name == "faults" else ""),
         )
 
     t = sub.add_parser("trace", help="generate and print a sample workload trace")
@@ -129,6 +137,9 @@ def _run_one(name: str, args) -> int:
     else:
         print(result.table())
     print(f"  ({scale} scale, {elapsed:.1f}s)")
+    if args.out:
+        _write_json(result, args.out)
+        print(f"  wrote {args.out}")
     failures = 0
     if args.check:
         print("shape checks:")
@@ -138,6 +149,24 @@ def _run_one(name: str, args) -> int:
                 failures += 1
     print()
     return failures
+
+
+def _write_json(result, path: str) -> None:
+    import json
+    import os
+
+    payload = {
+        "figure": result.figure,
+        "title": result.title,
+        "rows": result.rows,
+        "notes": result.notes,
+    }
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, sort_keys=True, indent=1)
+        handle.write("\n")
 
 
 def _print_trace(args) -> None:

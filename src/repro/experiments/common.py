@@ -10,7 +10,7 @@ import numpy as np
 from repro.errors import ExperimentError
 from repro.metrics.tables import format_table
 from repro.scheduling.base import SchedulingHeuristic
-from repro.site.driver import SiteResult, simulate_site
+from repro.site.driver import simulate_site
 from repro.workload.generator import generate_trace
 from repro.workload.spec import WorkloadSpec
 

@@ -9,7 +9,6 @@ the uncertainty EXPERIMENTS.md quotes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
 
 from repro.errors import ExperimentError
 from repro.experiments.common import FigureResult
@@ -25,6 +24,7 @@ GROUP_KEYS: dict[str, tuple[str, ...]] = {
     "fig5": ("decay_skew", "alpha"),
     "fig6": ("policy", "load_factor"),
     "fig7": ("load_factor", "threshold"),
+    "faults": ("policy", "mttf"),
 }
 
 

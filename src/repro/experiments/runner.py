@@ -13,10 +13,11 @@ subset; the CLI reports all of them.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence
+from typing import Callable
 
 from repro.errors import ExperimentError
 from repro.experiments.common import FigureResult
+from repro.experiments.faults import run_faults
 from repro.experiments.fig3 import run_fig3
 from repro.experiments.fig4 import run_fig4
 from repro.experiments.fig5 import run_fig5
@@ -240,6 +241,36 @@ def check_fig7(res: FigureResult) -> list[ShapeCheck]:
     return checks
 
 
+def check_faults(res: FigureResult) -> list[ShapeCheck]:
+    series = res.series("mttf", "total_yield", "policy")
+    checks = []
+    for policy, pts in series.items():
+        ys = [y for _, y in pts]  # ascending mttf
+        monotone = all(ys[i] <= ys[i + 1] + 1e-9 for i in range(len(ys) - 1))
+        lo, hi = pts[0], pts[-1]
+        checks.append(
+            ShapeCheck(
+                f"yield-degrades-as-mttf-shrinks[{policy}]",
+                monotone,
+                f"{policy}: yield {hi[1]:.0f} at mttf {hi[0]:g} -> "
+                f"{lo[1]:.0f} at mttf {lo[0]:g}, monotone along the sweep",
+            )
+        )
+    aware = dict(series["firstreward-ac"])
+    oblivious = dict(series["firstprice-noac"])
+    dominated = all(aware[m] >= oblivious[m] for m in aware)
+    worst_gap = min(aware[m] - oblivious[m] for m in aware)
+    checks.append(
+        ShapeCheck(
+            "risk-aware-dominates-at-every-mttf",
+            dominated,
+            f"firstreward-ac >= firstprice-noac at all MTTFs "
+            f"(smallest margin {worst_gap:+.0f})",
+        )
+    )
+    return checks
+
+
 # ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------
@@ -319,6 +350,14 @@ EXPERIMENTS: dict[str, ExperimentDef] = {
             thresholds=(-200.0, 0.0, 200.0, 400.0, 700.0),
         ),
         full=dict(n_jobs=5000, seeds=(0, 1)),
+    ),
+    "faults": ExperimentDef(
+        name="faults",
+        description="extension: yield vs node MTTF under fault injection",
+        run=run_faults,
+        check=check_faults,
+        quick=dict(n_jobs=600, seeds=(0, 1)),
+        full=dict(n_jobs=5000, seeds=(0, 1, 2)),
     ),
 }
 

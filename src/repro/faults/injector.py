@@ -1,0 +1,127 @@
+"""The fault injector: per-node crash/repair cycles as DES processes.
+
+One daemon :class:`~repro.sim.process.Process` per node alternates
+
+    up for TTF  →  crash  →  down for TTR  →  repair  →  up for TTF …
+
+with TTF/TTR drawn from the :class:`~repro.faults.FaultSpec`'s
+distributions on a dedicated named RNG stream per node (so adding or
+removing nodes never perturbs another node's fault trace, and the same
+(seed, node) pair always crashes at the same times).
+
+Event-liveness semantics matter here:
+
+* *Crash* timeouts are **daemon** events — a pending crash never keeps
+  the simulation alive, so a run still ends when the real work drains
+  (faults only strike while there is work to disrupt).
+* *Repair* timeouts are **essential** — once a node is down, the repair
+  always lands.  Otherwise a run could end with the queue non-empty and
+  every node dead: the repair event is precisely what un-wedges it.
+
+The injector publishes crashes/repairs through two callbacks instead of
+importing the site layer, keeping ``repro.faults`` below ``repro.site``
+in the dependency order.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterable, Optional
+
+from repro.faults.spec import FaultSpec
+from repro.faults.stats import FaultStats
+from repro.sim.kernel import Simulator
+from repro.sim.process import Interrupt, Process, Timeout
+from repro.sim.rng import RandomStreams
+
+
+class FaultInjector:
+    """Drives crash/repair cycles for a set of nodes.
+
+    Parameters
+    ----------
+    sim:
+        The simulation kernel.
+    spec:
+        Fault model configuration (MTTF/MTTR, distributions).
+    node_ids:
+        Stable node identities to inject faults on (see
+        :meth:`repro.site.processors.ProcessorPool.node_ids_of`).
+    streams:
+        Seeded stream factory; node *n* draws from stream
+        ``"{stream_prefix}:node:{n}"``.
+    on_crash / on_repair:
+        Callables invoked with the node id when its state flips.
+    stats:
+        Optional shared :class:`FaultStats` (created when omitted).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        spec: FaultSpec,
+        node_ids: Iterable[int],
+        streams: RandomStreams,
+        on_crash: Callable[[int], None],
+        on_repair: Callable[[int], None],
+        stats: Optional[FaultStats] = None,
+        stream_prefix: str = "fault",
+    ) -> None:
+        self.sim = sim
+        self.spec = spec
+        self.streams = streams
+        self.on_crash = on_crash
+        self.on_repair = on_repair
+        self.stats = stats if stats is not None else FaultStats()
+        self.stream_prefix = stream_prefix
+        self.processes: list[Process] = []
+        if spec.enabled:
+            for node_id in node_ids:
+                self.processes.append(
+                    Process(
+                        sim,
+                        self._node_loop(int(node_id)),
+                        name=f"fault:{node_id}",
+                        daemon=True,
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    def _node_loop(self, node_id: int):
+        rng = self.streams.get(f"{self.stream_prefix}:node:{node_id}")
+        try:
+            while True:
+                ttf = self.spec.draw_ttf(rng)
+                if math.isinf(ttf):
+                    return  # crashes disabled (mttf=inf): nothing to do
+                yield Timeout(ttf, daemon=True)
+                self.stats.note_down(node_id, self.sim.now)
+                self.on_crash(node_id)
+                ttr = self.spec.draw_ttr(rng)
+                # essential: a down node's repair must fire even if it is
+                # the only future event — it may be what unblocks the queue
+                yield Timeout(ttr)
+                self.stats.note_up(node_id, self.sim.now)
+                self.on_repair(node_id)
+        except Interrupt:
+            return  # stop() shuts the loop down cleanly
+
+    # ------------------------------------------------------------------
+    def stop(self) -> int:
+        """Interrupt every live node loop; returns how many were stopped."""
+        stopped = 0
+        for process in self.processes:
+            if process.alive:
+                process.interrupt("injector shutdown")
+                stopped += 1
+        return stopped
+
+    @property
+    def active_count(self) -> int:
+        return sum(1 for p in self.processes if p.alive)
+
+    def __repr__(self) -> str:
+        return (
+            f"<FaultInjector nodes={len(self.processes)} "
+            f"crashes={self.stats.crashes} repairs={self.stats.repairs}>"
+        )

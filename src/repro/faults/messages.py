@@ -1,0 +1,91 @@
+"""Message-level fault model for the negotiation protocol.
+
+The two-phase negotiation (§2) exchanges three one-way messages:
+request → quotes → award.  Real grids drop messages; clients recover
+with timeouts and bounded exponential-backoff retransmission.
+:class:`MessageFaults` holds the loss model and retry discipline the
+:class:`repro.market.protocol.LatentNegotiator` applies to each hop.
+
+Loss draws come from a dedicated named RNG stream, so enabling message
+faults never perturbs workload generation or node-fault traces.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import MarketError
+from repro.faults.stats import FaultStats
+
+
+class MessageFaults:
+    """Loss probability + retry/backoff discipline for protocol messages.
+
+    Parameters
+    ----------
+    rng:
+        Seeded generator for loss draws (e.g.
+        ``RandomStreams(seed).get("fault:messages")``).
+    loss_prob:
+        Per-message, per-hop independent loss probability in [0, 1).
+    timeout:
+        How long the client waits for the response to a hop before
+        declaring it lost and retrying.
+    max_retries:
+        Retransmissions allowed per hop after the first attempt; once
+        exhausted the negotiation fails (no contract).
+    backoff:
+        Exponential backoff base: retry *k* (0-based) waits
+        ``timeout * backoff**k`` before retransmitting.
+    stats:
+        Optional shared :class:`FaultStats` receiving loss/retry counts.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        loss_prob: float = 0.1,
+        timeout: float = 30.0,
+        max_retries: int = 3,
+        backoff: float = 2.0,
+        stats: Optional[FaultStats] = None,
+    ) -> None:
+        if not 0.0 <= loss_prob < 1.0:
+            raise MarketError(f"loss_prob must be in [0, 1), got {loss_prob!r}")
+        if not timeout > 0:
+            raise MarketError(f"timeout must be > 0, got {timeout!r}")
+        if max_retries < 0:
+            raise MarketError(f"max_retries must be >= 0, got {max_retries!r}")
+        if not backoff >= 1.0:
+            raise MarketError(f"backoff must be >= 1, got {backoff!r}")
+        self.rng = rng
+        self.loss_prob = float(loss_prob)
+        self.timeout = float(timeout)
+        self.max_retries = int(max_retries)
+        self.backoff = float(backoff)
+        self.stats = stats if stats is not None else FaultStats()
+
+    # ------------------------------------------------------------------
+    def lost(self) -> bool:
+        """Draw one message fate; records a loss when it happens."""
+        if self.loss_prob == 0.0:
+            return False
+        lost = bool(self.rng.random() < self.loss_prob)
+        if lost:
+            self.stats.messages_lost += 1
+        return lost
+
+    def retry_delay(self, attempt: int) -> float:
+        """Wait before retransmission *attempt* (0-based): timeout + backoff."""
+        return self.timeout * self.backoff**attempt
+
+    def note_retry(self) -> None:
+        self.stats.retries += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"<MessageFaults p={self.loss_prob:g} timeout={self.timeout:g} "
+            f"retries={self.max_retries} backoff={self.backoff:g}>"
+        )

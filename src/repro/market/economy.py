@@ -8,7 +8,7 @@ the single-site experiments of §5–§6 are the special case of one site.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.errors import MarketError

@@ -12,13 +12,22 @@ promised completions get missed).
 (selection) → (latency) → award.  Message dataclasses make the exchange
 inspectable; tests assert both the happy path and the stale-quote
 effect.
+
+With a :class:`~repro.faults.MessageFaults` model attached
+(``repro.faults`` reliability subsystem), any one-way message — the
+request, each site's quote, the award — can be lost in flight.  The
+client recovers with timeouts and bounded exponential-backoff
+retransmission; a negotiation whose retry budget runs dry simply fails
+(no contract), and a retransmitted award executes against the winner's
+*current* schedule, so each retry deepens the stale-quote exposure the
+latency model already makes observable.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.errors import MarketError
 from repro.market.broker import SelectionStrategy, best_yield
@@ -27,6 +36,9 @@ from repro.sim.kernel import Simulator
 from repro.sim.process import Process, Timeout
 from repro.tasks.bid import ServerBid, TaskBid
 from repro.tasks.contract import Contract
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.faults.messages import MessageFaults
 
 _negotiation_ids = itertools.count()
 
@@ -69,6 +81,8 @@ class NegotiationRecord:
     responses: list[BidResponse] = field(default_factory=list)
     award: Optional[Award] = None
     contract: Optional[Contract] = None
+    lost_messages: int = 0  # messages dropped in flight (any hop)
+    retries: int = 0  # retransmissions after a timeout
 
     @property
     def accepted(self) -> bool:
@@ -94,6 +108,7 @@ class LatentNegotiator:
         sites: Sequence[MarketSite],
         latency: float = 0.0,
         strategy: SelectionStrategy = best_yield,
+        faults: "Optional[MessageFaults]" = None,
     ) -> None:
         if not sites:
             raise MarketError("negotiator requires at least one site")
@@ -103,6 +118,7 @@ class LatentNegotiator:
         self.sites = list(sites)
         self.latency = float(latency)
         self.strategy = strategy
+        self.faults = faults
         self.records: list[NegotiationRecord] = []
 
     def negotiate(self, bid: TaskBid) -> NegotiationRecord:
@@ -121,41 +137,96 @@ class LatentNegotiator:
         Process(self.sim, self._run(bid, record), name=f"negotiation-{record.negotiation_id}")
         return record
 
+    def _lost(self, record: NegotiationRecord) -> bool:
+        """One in-flight message fate; False always when faults are off."""
+        if self.faults is None:
+            return False
+        lost = self.faults.lost()
+        if lost:
+            record.lost_messages += 1
+        return lost
+
     def _run(self, bid: TaskBid, record: NegotiationRecord):
         record.request = BidRequest(record.negotiation_id, bid, self.sim.now)
-        if self.latency:
-            yield Timeout(self.latency)  # request in flight
+        attempt = 0  # one retry budget across the whole negotiation
 
-        quotes: list[ServerBid] = []
-        quote_sites: list[MarketSite] = []
-        for site in self.sites:
-            quote = site.quote(bid)
-            record.responses.append(
-                BidResponse(record.negotiation_id, site.site_id, quote, self.sim.now)
-            )
-            if quote is not None:
-                quotes.append(quote)
-                quote_sites.append(site)
+        # -- phase 1: request out, quotes back (with retransmission) ----
+        while True:
+            request_lost = self._lost(record)
+            if self.latency:
+                yield Timeout(self.latency)  # request in flight
 
-        if self.latency:
-            yield Timeout(self.latency)  # responses in flight
+            quotes: list[ServerBid] = []
+            quote_sites: list[MarketSite] = []
+            any_response = False
+            if not request_lost:
+                for site in self.sites:
+                    quote = site.quote(bid)
+                    if self._lost(record):
+                        continue  # this site's response vanished in flight
+                    any_response = True
+                    record.responses.append(
+                        BidResponse(record.negotiation_id, site.site_id, quote, self.sim.now)
+                    )
+                    if quote is not None:
+                        quotes.append(quote)
+                        quote_sites.append(site)
+
+            if self.latency:
+                yield Timeout(self.latency)  # responses in flight
+
+            if request_lost or not any_response:
+                # silence: the client cannot tell a lost request from
+                # lost responses — wait out the timeout and retransmit
+                if self.faults is None or attempt >= self.faults.max_retries:
+                    return record
+                yield Timeout(self.faults.retry_delay(attempt))
+                self.faults.note_retry()
+                record.retries += 1
+                attempt += 1
+                continue
+            break
 
         index = self.strategy(bid, quotes)
         if index is None:
             return record
 
-        if self.latency:
-            yield Timeout(self.latency)  # award in flight
-
+        # -- phase 2: award (with retransmission) -----------------------
         winner = quotes[index]
-        record.award = Award(record.negotiation_id, winner.site_id, winner, self.sim.now)
-        record.contract = quote_sites[index].award(bid, winner)
-        return record
+        winner_site = quote_sites[index]
+        while True:
+            award_lost = self._lost(record)
+            if self.latency:
+                yield Timeout(self.latency)  # award in flight
+
+            if not award_lost:
+                record.award = Award(
+                    record.negotiation_id, winner.site_id, winner, self.sim.now
+                )
+                record.contract = winner_site.award(bid, winner)
+                return record
+
+            # the site never saw the award; back off and resend (the
+            # quote goes staler with every round trip)
+            if attempt >= self.faults.max_retries:
+                return record
+            yield Timeout(self.faults.retry_delay(attempt))
+            self.faults.note_retry()
+            record.retries += 1
+            attempt += 1
 
     # ------------------------------------------------------------------
     @property
     def accepted(self) -> int:
         return sum(1 for r in self.records if r.accepted)
+
+    @property
+    def messages_lost(self) -> int:
+        return sum(r.lost_messages for r in self.records)
+
+    @property
+    def total_retries(self) -> int:
+        return sum(r.retries for r in self.records)
 
     @property
     def stale_promise_rate(self) -> float:

@@ -14,6 +14,9 @@ Implemented heuristics:
 ``pv``             Present Value — discounted unit gain (Eq. 3, §5.1)
 ``firstreward``    Risk/reward blend of PV and opportunity cost
                    (Eq. 4–6, §5.2–5.3)
+``survival``       Failure-aware wrapper: any base heuristic's scores
+                   discounted by P(node survives RPT)
+                   (``repro.faults`` extension)
 =================  =====================================================
 """
 
@@ -33,6 +36,7 @@ from repro.scheduling.firstreward import FirstReward
 from repro.scheduling.pool import PendingPool
 from repro.scheduling.presentvalue import PresentValue
 from repro.scheduling.registry import available_heuristics, make_heuristic
+from repro.scheduling.survival import SurvivalDiscount
 
 __all__ = [
     "FCFS",
@@ -45,6 +49,7 @@ __all__ = [
     "PresentValue",
     "PriorityFCFS",
     "SchedulingHeuristic",
+    "SurvivalDiscount",
     "available_heuristics",
     "current_delays",
     "current_yields",

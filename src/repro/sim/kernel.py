@@ -88,7 +88,19 @@ class Simulator:
         return self._queue.push(event)
 
     def cancel(self, event: Event) -> None:
-        """Cancel a pending event (error if it already fired/was cancelled)."""
+        """Cancel a pending event (error if it already fired/was cancelled).
+
+        The error message carries the event's identity (sequence number,
+        tag, scheduled time, state) and the current clock — stale-handle
+        bugs are usually debugged from exactly this context.
+        """
+        if not event.pending:
+            raise SimulationError(
+                f"cannot cancel {event.state.value} event seq={event.seq} "
+                f"tag={event.tag!r} t={event.time:g} (now={self.now:g}); "
+                "the handle is stale — the event already "
+                + ("fired" if event.fired else "was cancelled")
+            )
         self._queue.cancel(event)
 
     # ------------------------------------------------------------------

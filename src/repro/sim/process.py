@@ -70,18 +70,24 @@ class ProcessExit(enum.Enum):
 
 
 class Timeout:
-    """Waitable that completes ``delay`` time units after subscription."""
+    """Waitable that completes ``delay`` time units after subscription.
 
-    __slots__ = ("delay", "value")
+    ``daemon=True`` schedules the wake-up as a daemon event: housekeeping
+    processes (fault injectors, monitors) sleeping on daemon timeouts do
+    not keep :meth:`~repro.sim.kernel.Simulator.run` alive on their own.
+    """
 
-    def __init__(self, delay: float, value: Any = None) -> None:
+    __slots__ = ("delay", "value", "daemon")
+
+    def __init__(self, delay: float, value: Any = None, daemon: bool = False) -> None:
         if delay < 0:
             raise ProcessError(f"Timeout delay must be >= 0, got {delay!r}")
         self.delay = float(delay)
         self.value = value if value is not None else float(delay)
+        self.daemon = daemon
 
     def subscribe(self, sim: Simulator, callback: Callback) -> Unsubscribe:
-        event = sim.schedule(self.delay, callback, self.value, tag="timeout")
+        event = sim.schedule(self.delay, callback, self.value, tag="timeout", daemon=self.daemon)
         return lambda: sim.cancel(event)
 
 
@@ -245,6 +251,7 @@ class Process:
         sim: Simulator,
         generator: Generator[Any, Any, Any],
         name: Optional[str] = None,
+        daemon: bool = False,
     ) -> None:
         if not hasattr(generator, "send"):
             raise ProcessError(
@@ -253,6 +260,10 @@ class Process:
             )
         self.sim = sim
         self.name = name or getattr(generator, "__name__", "process")
+        #: daemon processes are housekeeping: their step/interrupt events
+        #: never keep the simulation alive (their waits should be daemon
+        #: waitables too, e.g. ``Timeout(..., daemon=True)``)
+        self.daemon = daemon
         self._gen = generator
         self.state = ProcessExit.RUNNING
         self.result: Any = None
@@ -260,7 +271,9 @@ class Process:
         self._unsubscribe: Optional[Unsubscribe] = None
         self._joiners: list[Callback] = []
         self._interrupt_pending: Optional[Interrupt] = None
-        sim.schedule(0.0, self._step, ("send", None), tag=f"proc:{self.name}:start")
+        sim.schedule(
+            0.0, self._step, ("send", None), tag=f"proc:{self.name}:start", daemon=daemon
+        )
 
     # -- waitable protocol -------------------------------------------------
     def subscribe(self, sim: Simulator, callback: Callback) -> Unsubscribe:
@@ -299,7 +312,13 @@ class Process:
             self._unsubscribe = None
         interrupt = Interrupt(cause)
         # deliver asynchronously so interrupting from inside a callback is safe
-        self.sim.schedule(0.0, self._step, ("throw", interrupt), tag=f"proc:{self.name}:interrupt")
+        self.sim.schedule(
+            0.0,
+            self._step,
+            ("throw", interrupt),
+            tag=f"proc:{self.name}:interrupt",
+            daemon=self.daemon,
+        )
 
     def _resume(self, value: Any) -> None:
         self._unsubscribe = None

@@ -13,7 +13,7 @@ store.get()``.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Callable, Deque, Optional
+from typing import Any, Deque, Optional
 
 from repro.errors import SimulationError
 from repro.sim.kernel import Simulator

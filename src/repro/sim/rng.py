@@ -15,7 +15,6 @@ one root seed; every component that needs randomness asks a
 from __future__ import annotations
 
 import zlib
-from typing import Optional
 
 import numpy as np
 

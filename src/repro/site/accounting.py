@@ -8,7 +8,6 @@ penalties paid.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -29,6 +28,7 @@ class TaskRecord:
     delay: Optional[float]
     realized_yield: float
     preemptions: int
+    restarts: int = 0  # crash-driven requeues survived
 
 
 @dataclass
@@ -41,6 +41,10 @@ class YieldLedger:
     completed: int = 0
     cancelled: int = 0
     preemptions: int = 0
+    crashes: int = 0  # running tasks killed by node failures
+    restarts: int = 0  # killed tasks put back in the queue
+    breaches: int = 0  # killed tasks abandoned (contract breached)
+    breach_penalties: float = 0.0  # penalties paid on those breaches
     total_yield: float = 0.0
     first_arrival: Optional[float] = None
     last_completion: Optional[float] = None
@@ -64,6 +68,22 @@ class YieldLedger:
 
     def note_preempt(self, task: Task) -> None:
         self.preemptions += 1
+
+    def note_crash(self, task: Task) -> None:
+        """A node failure killed *task* mid-run."""
+        self.crashes += 1
+
+    def note_restart(self, task: Task) -> None:
+        """A killed task went back to the queue (requeue/checkpoint)."""
+        self.restarts += 1
+
+    def note_breach(self, task: Task, penalty: float) -> None:
+        """A killed task was abandoned: the contract is breached and the
+        value-function floor is realized (the *task* is already
+        CANCELLED); *penalty* is the positive magnitude paid."""
+        self.breaches += 1
+        self.breach_penalties += penalty
+        self.note_cancel(task)
 
     def note_completion(self, task: Task) -> None:
         assert task.realized_yield is not None and task.completion is not None
@@ -114,6 +134,7 @@ class YieldLedger:
                 delay=delay,
                 realized_yield=realized,
                 preemptions=task.preemptions,
+                restarts=task.restarts,
             )
         )
 
@@ -167,6 +188,10 @@ class YieldLedger:
             "completed": self.completed,
             "cancelled": self.cancelled,
             "preemptions": self.preemptions,
+            "crashes": self.crashes,
+            "restarts": self.restarts,
+            "breaches": self.breaches,
+            "breach_penalties": self.breach_penalties,
             "total_yield": self.total_yield,
             "yield_rate": self.yield_rate,
             "active_interval": self.active_interval,

@@ -60,15 +60,33 @@ class SlackAdmission:
         policy that applies a higher slack threshold" (§6).
     discount_rate:
         Present-value discount rate used for the task's expected gain.
+    slack_inflation:
+        Failure-aware risk margin (``repro.faults``): the required slack
+        grows by ``slack_inflation`` time units per unit of the task's
+        believed RPT.  Longer tasks expose the site to more crash risk —
+        a crash forfeits the work done and delays everything queued
+        behind the re-run — so an unreliable site should demand extra
+        slack in proportion to that exposure.  0 (the default) is the
+        paper's fault-free rule, bit for bit.
     """
 
-    def __init__(self, threshold: float = 180.0, discount_rate: float = 0.01) -> None:
+    def __init__(
+        self,
+        threshold: float = 180.0,
+        discount_rate: float = 0.01,
+        slack_inflation: float = 0.0,
+    ) -> None:
         if math.isnan(threshold):
             raise AdmissionError("slack threshold must not be NaN")
         if not discount_rate >= 0:
             raise AdmissionError(f"discount_rate must be >= 0, got {discount_rate!r}")
+        if not slack_inflation >= 0:
+            raise AdmissionError(
+                f"slack_inflation must be >= 0, got {slack_inflation!r}"
+            )
         self.threshold = float(threshold)
         self.discount_rate = float(discount_rate)
+        self.slack_inflation = float(slack_inflation)
 
     def evaluate(self, site: "TaskServiceSite", task: "Task") -> AdmissionDecision:
         """Probe the candidate schedule with *task* added; no state changes."""
@@ -110,8 +128,9 @@ class SlackAdmission:
             # can never trigger its own penalty
             slack = math.inf if pv - cost >= 0 else -math.inf
 
+        required = self.threshold + self.slack_inflation * task.estimated_remaining
         return AdmissionDecision(
-            accept=bool(slack >= self.threshold),
+            accept=bool(slack >= required),
             slack=slack,
             expected_start=expected_start,
             expected_completion=expected_completion,
@@ -122,7 +141,13 @@ class SlackAdmission:
         )
 
     def __repr__(self) -> str:
-        return f"<SlackAdmission threshold={self.threshold:g} r={self.discount_rate:g}>"
+        inflation = (
+            f" inflation={self.slack_inflation:g}" if self.slack_inflation else ""
+        )
+        return (
+            f"<SlackAdmission threshold={self.threshold:g} "
+            f"r={self.discount_rate:g}{inflation}>"
+        )
 
 
 class AcceptAll:

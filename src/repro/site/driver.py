@@ -8,7 +8,7 @@ completed all jobs."
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.errors import SimulationError
 from repro.scheduling.base import SchedulingHeuristic
@@ -19,6 +19,10 @@ from repro.site.service import TaskServiceSite
 from repro.tasks.task import Task
 from repro.workload.trace import Trace
 
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.faults.spec import FaultSpec
+    from repro.faults.stats import FaultStats
+
 
 @dataclass
 class SiteResult:
@@ -28,6 +32,7 @@ class SiteResult:
     site: TaskServiceSite
     sim: Simulator
     tasks: list[Task]
+    fault_stats: "Optional[FaultStats]" = None
 
     @property
     def total_yield(self) -> float:
@@ -47,13 +52,36 @@ def simulate_site(
     discard_expired: bool = False,
     keep_records: bool = True,
     sim_trace: Optional[SimTrace] = None,
+    faults: "Optional[FaultSpec]" = None,
+    fault_seed: int = 0,
 ) -> SiteResult:
     """Feed every task of *trace* to a fresh site; run until drained.
 
     Submissions are scheduled at each task's arrival time; batch
     arrivals submit in trace order at the same instant.  The simulation
     runs until all accepted work completes (the event queue drains).
+
+    With ``faults`` given (and enabled), a
+    :class:`~repro.faults.FaultInjector` drives per-node crash/repair
+    cycles seeded by ``fault_seed``, tasks killed mid-run follow the
+    spec's restart policy, and the spec's pricing knobs (survival
+    discount on the heuristic, admission slack inflation) take effect.
+    ``faults=None`` — the default everywhere — is the fault-free engine,
+    bit for bit.
     """
+    if faults is not None and faults.enabled:
+        return _simulate_site_with_faults(
+            trace,
+            heuristic,
+            processors,
+            faults,
+            fault_seed,
+            admission=admission,
+            preemption=preemption,
+            discard_expired=discard_expired,
+            keep_records=keep_records,
+            sim_trace=sim_trace,
+        )
     sim = Simulator(trace=sim_trace)
     ledger = YieldLedger(keep_records=keep_records)
     site = TaskServiceSite(
@@ -70,6 +98,11 @@ def simulate_site(
         sim.schedule_at(task.arrival, site.submit, task, tag="arrival")
     sim.run()
 
+    _check_drained(site, tasks)
+    return SiteResult(ledger=ledger, site=site, sim=sim, tasks=tasks)
+
+
+def _check_drained(site: TaskServiceSite, tasks: list[Task]) -> None:
     if not site.all_work_done():
         raise SimulationError(
             f"simulation drained with work outstanding: queue={site.queue_length} "
@@ -78,4 +111,81 @@ def simulate_site(
     unfinished = [t for t in tasks if not t.finished]
     if unfinished:
         raise SimulationError(f"{len(unfinished)} tasks not in a terminal state")
-    return SiteResult(ledger=ledger, site=site, sim=sim, tasks=tasks)
+
+
+def _simulate_site_with_faults(
+    trace: Trace,
+    heuristic: SchedulingHeuristic,
+    processors: int,
+    faults: "FaultSpec",
+    fault_seed: int,
+    admission=None,
+    preemption: bool = False,
+    discard_expired: bool = False,
+    keep_records: bool = True,
+    sim_trace: Optional[SimTrace] = None,
+) -> SiteResult:
+    """The fault-injected variant of :func:`simulate_site`."""
+    from repro.faults.injector import FaultInjector
+    from repro.faults.restart import make_restart_policy
+    from repro.faults.stats import FaultStats
+    from repro.faults.survival import survival_for
+    from repro.scheduling.survival import SurvivalDiscount
+    from repro.sim.rng import RandomStreams
+
+    if faults.survival_discount:
+        heuristic = SurvivalDiscount(heuristic, survival_for(faults))
+    if admission is not None and faults.slack_inflation > 0:
+        # the knob lives on the admission policy; respect an explicit
+        # setting, otherwise apply the spec's
+        if getattr(admission, "slack_inflation", 0.0) == 0.0:
+            admission.slack_inflation = faults.slack_inflation
+
+    sim = Simulator(trace=sim_trace)
+    ledger = YieldLedger(keep_records=keep_records)
+    site = TaskServiceSite(
+        sim,
+        processors=processors,
+        heuristic=heuristic,
+        admission=admission,
+        preemption=preemption,
+        discard_expired=discard_expired,
+        ledger=ledger,
+        restart_policy=make_restart_policy(faults),
+    )
+    stats = FaultStats()
+    stats.tasks_killed = 0  # explicit: updated via the crash listener below
+
+    def on_crash_listener(task, outcome):
+        stats.tasks_killed += 1
+        stats.work_lost += outcome.work_lost
+        if outcome.requeued:
+            stats.restarts += 1
+        else:
+            stats.abandoned += 1
+
+    site.crash_listeners.append(on_crash_listener)
+    injector = FaultInjector(
+        sim,
+        faults,
+        node_ids=list(range(processors)),
+        streams=RandomStreams(fault_seed),
+        on_crash=site.crash_node,
+        on_repair=site.repair_node,
+        stats=stats,
+    )
+
+    tasks = trace.to_tasks()
+    for task in tasks:
+        sim.schedule_at(task.arrival, site.submit, task, tag="arrival")
+    sim.run()
+    # deliver shutdown interrupts to the injector loops (daemon events at
+    # the current instant still fire), then close the downtime books
+    injector.stop()
+    sim.run()
+    stats.close(sim.now)
+
+    _check_drained(site, tasks)
+    return SiteResult(
+        ledger=ledger, site=site, sim=sim, tasks=tasks, fault_stats=stats
+    )

@@ -29,6 +29,7 @@ class ProcessorPool:
         "_busy_accum",
         "_node_ids",
         "_next_node_id",
+        "_down",
     )
 
     def __init__(self, count: int) -> None:
@@ -43,15 +44,24 @@ class ProcessorPool:
         # shrinks, so observers must key on these, not positions
         self._node_ids: list[int] = list(range(count))
         self._next_node_id = count
+        # crashed nodes: down slots hold no task and take no assignments
+        # until repaired (repro.faults drives the transitions)
+        self._down: list[bool] = [False] * count
 
     # ------------------------------------------------------------------
     @property
     def free_count(self) -> int:
-        return sum(1 for t in self._task_of if t is None)
+        """Nodes that can take work now: idle and not crashed."""
+        return sum(1 for t, d in zip(self._task_of, self._down) if t is None and not d)
 
     @property
     def busy_count(self) -> int:
-        return self.count - self.free_count
+        return sum(1 for t in self._task_of if t is not None)
+
+    @property
+    def down_count(self) -> int:
+        """Nodes currently crashed (idle but unassignable)."""
+        return sum(self._down)
 
     @property
     def running_tasks(self) -> list[Task]:
@@ -86,7 +96,11 @@ class ProcessorPool:
         """Gang-schedule *task* on ``task.demand`` free nodes (§4: "jobs
         are always gang-scheduled ... with the requested number of
         processors").  Returns the first slot index."""
-        free = [i for i, t in enumerate(self._task_of) if t is None]
+        free = [
+            i
+            for i, (t, d) in enumerate(zip(self._task_of, self._down))
+            if t is None and not d
+        ]
         if len(free) < task.demand:
             raise SchedulingError(
                 f"task {task.tid} needs {task.demand} nodes, only {len(free)} free"
@@ -120,6 +134,7 @@ class ProcessorPool:
             range(self._next_node_id, self._next_node_id + count)
         )
         self._next_node_id += count
+        self._down.extend([False] * count)
         self.count += count
 
     def shrink_idle(self, count: int) -> int:
@@ -134,15 +149,58 @@ class ProcessorPool:
         removed = 0
         i = len(self._task_of) - 1
         while removed < count and i >= 0 and self.count - removed > 1:
-            if self._task_of[i] is None:
+            # crashed nodes are not revocable either: their lease is
+            # pinned until the repair lands (the fault injector tracks
+            # them by identity)
+            if self._task_of[i] is None and not self._down[i]:
                 del self._task_of[i]
                 del self._completion_of[i]
                 del self._busy_since[i]
                 del self._node_ids[i]
+                del self._down[i]
                 removed += 1
             i -= 1
         self.count -= removed
         return removed
+
+    # ------------------------------------------------------------------
+    # Node failure / repair (the repro.faults reliability subsystem)
+    # ------------------------------------------------------------------
+    def _slot_of_node(self, node_id: int) -> Optional[int]:
+        try:
+            return self._node_ids.index(node_id)
+        except ValueError:
+            return None  # node was shrunk away since the injector started
+
+    def is_down(self, node_id: int) -> bool:
+        slot = self._slot_of_node(node_id)
+        return slot is not None and self._down[slot]
+
+    def down_node_ids(self) -> list[int]:
+        return [nid for nid, d in zip(self._node_ids, self._down) if d]
+
+    def fail(self, node_id: int) -> Optional[Task]:
+        """Mark node *node_id* down; returns the task it was running.
+
+        The occupant (if any) is *not* vacated — the site engine owns
+        the task lifecycle (cancel its completion event, vacate the full
+        gang, apply the restart policy).  Failing an unknown or
+        already-down node is a no-op returning ``None`` so injectors can
+        race elastic shrink and duplicated crash signals harmlessly.
+        """
+        slot = self._slot_of_node(node_id)
+        if slot is None or self._down[slot]:
+            return None
+        self._down[slot] = True
+        return self._task_of[slot]
+
+    def repair(self, node_id: int) -> bool:
+        """Bring node *node_id* back up; True when a down node flipped."""
+        slot = self._slot_of_node(node_id)
+        if slot is None or not self._down[slot]:
+            return False
+        self._down[slot] = False
+        return True
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -159,11 +217,20 @@ class ProcessorPool:
     def free_times(self, now: float) -> np.ndarray:
         """Per-node next-free time as the scheduler believes it: *now*
         for idle nodes, now + the running task's estimated remaining time
-        otherwise.  Seed state of every candidate-schedule projection."""
+        otherwise.  Seed state of every candidate-schedule projection.
+
+        Down nodes project ``inf`` — the site does not know the repair
+        time, so candidate schedules place no work on them; when every
+        node is down all starts become ``inf`` and expected yields fall
+        to the floor (admission then rejects, which is the right quote
+        for a site that cannot currently run anything).
+        """
         return np.array(
             [
-                now if t is None else now + self._believed_remaining(t, now)
-                for t in self._task_of
+                math.inf
+                if d
+                else (now if t is None else now + self._believed_remaining(t, now))
+                for t, d in zip(self._task_of, self._down)
             ]
         )
 

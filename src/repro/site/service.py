@@ -57,6 +57,12 @@ class TaskServiceSite:
     discard_expired:
         Cancel queued tasks whose value function has hit its floor
         (bounded penalties only) instead of ever running them.
+    restart_policy:
+        How tasks killed by node crashes are handled (an object with
+        ``on_crash(task, now) -> CrashOutcome``, see
+        :mod:`repro.faults.restart`).  ``None`` defaults to
+        requeue-from-scratch on the first crash that needs it; sites
+        never exposed to faults never touch this path.
     """
 
     def __init__(
@@ -69,6 +75,7 @@ class TaskServiceSite:
         discard_expired: bool = False,
         site_id: str = "site",
         ledger: Optional[YieldLedger] = None,
+        restart_policy=None,
     ) -> None:
         self.sim = sim
         self.site_id = site_id
@@ -76,6 +83,7 @@ class TaskServiceSite:
         self.admission = admission
         self.preemption = preemption
         self.discard_expired = discard_expired
+        self.restart_policy = restart_policy
         self.processors = ProcessorPool(processors)
         self.pool = PendingPool()
         self.ledger = ledger if ledger is not None else YieldLedger()
@@ -87,6 +95,8 @@ class TaskServiceSite:
         #: The analysis layer builds execution timelines from these.
         self.start_listeners: list = []
         self.preempt_listeners: list = []
+        #: called as fn(task, outcome) when a crash kills a running task
+        self.crash_listeners: list = []
 
     # ------------------------------------------------------------------
     # Submission / admission
@@ -247,6 +257,53 @@ class TaskServiceSite:
         self.pool.add(task)
         for listener in self.preempt_listeners:
             listener(task)
+
+    # ------------------------------------------------------------------
+    # Node failure / repair (driven by repro.faults.FaultInjector)
+    # ------------------------------------------------------------------
+    def crash_node(self, node_id: int):
+        """Take node *node_id* down, killing whatever ran on it.
+
+        A crash on a gang-scheduled task's node kills the whole task
+        (gangs run in lockstep).  The victim's fate — requeue from
+        scratch, checkpoint-resume, or contract breach — is the restart
+        policy's call; the ledger records the crash either way.  Returns
+        the :class:`~repro.faults.restart.CrashOutcome` (``None`` when
+        the node was idle, unknown, or already down).
+        """
+        now = self.sim.now
+        victim = self.processors.fail(node_id)
+        if victim is None:
+            return None
+        event = self._completion_events.pop(victim.tid)
+        self.sim.cancel(event)
+        self.processors.vacate(victim, now)
+        self.ledger.note_crash(victim)
+        if self.restart_policy is None:
+            from repro.faults.restart import RequeueRestart
+
+            self.restart_policy = RequeueRestart()
+        outcome = self.restart_policy.on_crash(victim, now)
+        if outcome.requeued:
+            self.pool.add(victim)
+            self.ledger.note_restart(victim)
+        else:
+            self.ledger.note_breach(victim, outcome.penalty)
+            for listener in self.finish_listeners:
+                listener(victim)
+        for listener in self.crash_listeners:
+            listener(victim, outcome)
+        # capacity shrank, but the kill may still have freed a wide
+        # task's other nodes for narrower pending work
+        self._schedule_pass()
+        return outcome
+
+    def repair_node(self, node_id: int) -> bool:
+        """Bring node *node_id* back up and offer it to the queue."""
+        repaired = self.processors.repair(node_id)
+        if repaired:
+            self._schedule_pass()
+        return repaired
 
     # ------------------------------------------------------------------
     # Expired-task discard (bounded penalties)

@@ -85,6 +85,7 @@ class Task:
         "last_start",
         "completion",
         "preemptions",
+        "restarts",
         "realized_yield",
         "rejected_at",
     )
@@ -125,6 +126,7 @@ class Task:
         self.last_start: Optional[float] = None
         self.completion: Optional[float] = None
         self.preemptions = 0
+        self.restarts = 0
         self.realized_yield: Optional[float] = None
         self.rejected_at: Optional[float] = None
 
@@ -222,6 +224,30 @@ class Task:
         self.remaining = max(0.0, self.remaining - executed)
         self.estimated_remaining = max(0.0, self.estimated_remaining - executed)
         self.preemptions += 1
+
+    def crash(self, now: float, remaining: float, estimated_remaining: float) -> None:
+        """Requeue after a node crash with the given residual work.
+
+        The restart policy decides how much progress survives (all of it
+        lost for requeue-from-scratch, checkpointed work retained plus a
+        reload overhead for checkpoint-resume); this primitive applies
+        the transition and the residuals.  Unlike :meth:`preempt`, the
+        residual can exceed the work outstanding at the crash (overhead)
+        or the original runtime is restored wholesale.
+        """
+        if self.last_start is None:
+            raise SchedulingError(f"task {self.tid}: crash before start")
+        if remaining < 0 or estimated_remaining < 0:
+            raise SchedulingError(
+                f"task {self.tid}: crash residuals must be >= 0, got "
+                f"remaining={remaining!r} estimated={estimated_remaining!r}"
+            )
+        self._transition(TaskState.QUEUED)
+        self.remaining = float(remaining)
+        # the believed view never hits exactly 0 for unfinished work: a
+        # zero-RPT entry would quote an instant completion it cannot meet
+        self.estimated_remaining = max(float(estimated_remaining), 1e-9)
+        self.restarts += 1
 
     def complete(self, now: float) -> float:
         """Finish the task, recording and returning its realized yield."""

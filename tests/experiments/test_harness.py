@@ -52,8 +52,8 @@ class TestFigureResult:
 
 
 class TestRegistry:
-    def test_all_five_figures_registered(self):
-        assert set(EXPERIMENTS) == {"fig3", "fig4", "fig5", "fig6", "fig7"}
+    def test_all_figures_registered(self):
+        assert set(EXPERIMENTS) == {"fig3", "fig4", "fig5", "fig6", "fig7", "faults"}
 
     def test_unknown_experiment(self):
         with pytest.raises(ExperimentError):

@@ -1,0 +1,161 @@
+"""Message loss and retry in the two-phase negotiation protocol."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import MarketError
+from repro.faults import FaultStats, MessageFaults
+from repro.market import MarketSite
+from repro.market.protocol import LatentNegotiator
+from repro.scheduling import FirstPrice
+from repro.sim import Simulator
+from repro.sim.rng import RandomStreams
+from repro.site import SlackAdmission
+from repro.tasks import TaskBid
+
+
+def make_site(sim, site_id="s", processors=2):
+    return MarketSite(
+        sim,
+        site_id=site_id,
+        processors=processors,
+        heuristic=FirstPrice(),
+        admission=SlackAdmission(threshold=-math.inf, discount_rate=0.0),
+    )
+
+
+def make_bid(runtime=10.0, value=100.0, decay=0.5):
+    return TaskBid(runtime=runtime, value=value, decay=decay, client_id="c")
+
+
+class FateRng:
+    """Scripted uniform stream: each draw pops the next fate."""
+
+    def __init__(self, fates):
+        self.fates = list(fates)
+
+    def random(self):
+        return 0.0 if self.fates.pop(0) else 1.0  # 0.0 < p -> lost
+
+
+def run_one(faults, latency=1.0, n_sites=1):
+    sim = Simulator()
+    sites = [make_site(sim, site_id=f"s{i}") for i in range(n_sites)]
+    neg = LatentNegotiator(sim, sites, latency=latency, faults=faults)
+    record = neg.negotiate(make_bid())
+    sim.run()
+    return sim, neg, record
+
+
+class TestModel:
+    def test_parameter_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(MarketError):
+            MessageFaults(rng, loss_prob=1.0)
+        with pytest.raises(MarketError):
+            MessageFaults(rng, timeout=0.0)
+        with pytest.raises(MarketError):
+            MessageFaults(rng, max_retries=-1)
+        with pytest.raises(MarketError):
+            MessageFaults(rng, backoff=0.5)
+
+    def test_retry_delay_backoff(self):
+        mf = MessageFaults(np.random.default_rng(0), timeout=10.0, backoff=2.0)
+        assert [mf.retry_delay(k) for k in range(3)] == [10.0, 20.0, 40.0]
+
+    def test_zero_loss_prob_never_draws(self):
+        class Poisoned:
+            def random(self):  # pragma: no cover - must not be called
+                raise AssertionError("rng consulted with loss_prob=0")
+
+        mf = MessageFaults(Poisoned(), loss_prob=0.0)
+        assert mf.lost() is False
+
+
+class TestNegotiation:
+    def test_no_faults_object_is_clean_path(self):
+        sim, neg, record = run_one(faults=None)
+        assert record.accepted
+        assert record.lost_messages == 0 and record.retries == 0
+
+    def test_lost_request_retries_and_succeeds(self):
+        mf = MessageFaults(
+            FateRng([True, False, False, False]),  # request lost, then clean
+            loss_prob=0.5,
+            timeout=10.0,
+            max_retries=2,
+        )
+        sim, neg, record = run_one(mf, latency=1.0)
+        assert record.accepted
+        assert record.retries == 1 and record.lost_messages == 1
+        # t=0 request lost; responses window closes at 2; backoff 10;
+        # retransmit at 12: quote at 13, award lands at 15
+        assert record.award.sent_at == pytest.approx(15.0)
+
+    def test_lost_award_retransmits(self):
+        mf = MessageFaults(
+            FateRng([False, False, True, False]),  # award lost once
+            loss_prob=0.5,
+            timeout=10.0,
+            max_retries=2,
+        )
+        sim, neg, record = run_one(mf, latency=1.0)
+        assert record.accepted
+        assert record.retries == 1
+        assert record.award.sent_at > 3.0
+
+    def test_budget_exhaustion_fails_negotiation(self):
+        mf = MessageFaults(
+            FateRng([True] * 10), loss_prob=0.5, timeout=5.0, max_retries=2
+        )
+        sim, neg, record = run_one(mf)
+        assert not record.accepted
+        assert record.contract is None
+        assert record.retries == 2  # budget fully spent
+
+    def test_zero_retries_gives_up_immediately(self):
+        mf = MessageFaults(FateRng([True]), loss_prob=0.5, max_retries=0)
+        sim, neg, record = run_one(mf)
+        assert not record.accepted and record.retries == 0
+
+    def test_partial_response_loss_still_selects(self):
+        # request ok; site 0's quote lost, site 1's arrives; award ok
+        mf = MessageFaults(
+            FateRng([False, True, False, False]), loss_prob=0.5, max_retries=1
+        )
+        sim, neg, record = run_one(mf, n_sites=2)
+        assert record.accepted
+        assert len(record.responses) == 1
+        assert record.lost_messages == 1 and record.retries == 0
+
+
+class TestAggregates:
+    def test_stats_and_properties_accumulate(self):
+        stats = FaultStats()
+        rng = RandomStreams(3).get("fault:messages")
+        mf = MessageFaults(rng, loss_prob=0.3, timeout=5.0, max_retries=3, stats=stats)
+        sim = Simulator()
+        sites = [make_site(sim, site_id="s0")]
+        neg = LatentNegotiator(sim, sites, latency=1.0, faults=mf)
+        for i in range(40):
+            sim.schedule_at(float(i) * 5.0, neg.negotiate, make_bid())
+        sim.run()
+        assert neg.messages_lost == stats.messages_lost > 0
+        assert neg.total_retries == stats.retries > 0
+        assert neg.accepted > 0
+
+    def test_fault_free_yield_matches_zero_prob_faults(self):
+        def total(faults):
+            sim = Simulator()
+            sites = [make_site(sim, site_id=f"s{i}") for i in range(2)]
+            neg = LatentNegotiator(sim, sites, latency=2.0, faults=faults)
+            for i in range(30):
+                sim.schedule_at(float(i) * 4.0, neg.negotiate, make_bid())
+            sim.run()
+            return sum(s.engine.ledger.total_yield for s in sites), sim.now
+
+        clean = total(None)
+        zero = total(MessageFaults(np.random.default_rng(0), loss_prob=0.0))
+        assert clean == zero

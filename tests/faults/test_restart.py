@@ -1,0 +1,164 @@
+"""Restart policies and crash accounting on hand-computed scenarios."""
+
+import math
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.faults import (
+    AbandonRestart,
+    CheckpointRestart,
+    FaultSpec,
+    RequeueRestart,
+    make_restart_policy,
+)
+from repro.scheduling import FCFS
+from repro.sim import Simulator
+from repro.site import TaskServiceSite
+from repro.tasks import Task, TaskState
+from repro.valuefn import LinearDecayValueFunction
+
+
+def make_task(arrival, runtime, value=100.0, decay=0.0, bound=None, estimate=None):
+    return Task(
+        arrival, runtime, LinearDecayValueFunction(value, decay, bound), estimate=estimate
+    )
+
+
+def crash_scenario(runtime, crash_at, repair_at, policy, task=None, **site_kwargs):
+    """One task, one node; crash mid-run, repair later; run to drain."""
+    sim = Simulator()
+    site = TaskServiceSite(
+        sim, processors=1, heuristic=FCFS(), restart_policy=policy, **site_kwargs
+    )
+    t = task if task is not None else make_task(0.0, runtime)
+    sim.schedule_at(0.0, site.submit, t)
+    outcomes = []
+    sim.schedule_at(crash_at, lambda: outcomes.append(site.crash_node(0)))
+    sim.schedule_at(repair_at, site.repair_node, 0)
+    sim.run()
+    return sim, site, t, outcomes[0]
+
+
+class TestRequeue:
+    def test_all_progress_lost(self):
+        sim, site, t, outcome = crash_scenario(20.0, 15.0, 30.0, RequeueRestart())
+        assert outcome.requeued and outcome.work_lost == pytest.approx(15.0)
+        assert t.state is TaskState.COMPLETED
+        # restarted from scratch at the repair: 30 + 20
+        assert t.completion == pytest.approx(50.0)
+        assert t.restarts == 1
+        assert site.ledger.crashes == 1 and site.ledger.restarts == 1
+
+    def test_yield_charged_once_at_final_completion(self):
+        t = make_task(0.0, 20.0, value=100.0, decay=1.0)
+        sim, site, t, _ = crash_scenario(20.0, 15.0, 30.0, RequeueRestart(), task=t)
+        # delay = completion - arrival - estimate = 50 - 0 - 20 = 30
+        assert t.realized_yield == pytest.approx(100.0 - 30.0)
+        assert site.ledger.total_yield == pytest.approx(70.0)
+        assert site.ledger.completed == 1
+
+
+class TestCheckpoint:
+    def test_continuous_checkpoint_keeps_all_progress(self):
+        policy = CheckpointRestart(overhead=0.0, interval=None)
+        sim, site, t, outcome = crash_scenario(20.0, 15.0, 30.0, policy)
+        assert outcome.work_lost == pytest.approx(0.0)
+        # resumes with 5 units left: 30 + 5
+        assert t.completion == pytest.approx(35.0)
+
+    def test_interval_floors_retained_progress(self):
+        policy = CheckpointRestart(overhead=0.0, interval=6.0)
+        sim, site, t, outcome = crash_scenario(20.0, 15.0, 30.0, policy)
+        # 15 units done, last checkpoint at 12: lose 3, resume with 8
+        assert outcome.work_lost == pytest.approx(3.0)
+        assert t.completion == pytest.approx(38.0)
+
+    def test_overhead_added_on_resume(self):
+        policy = CheckpointRestart(overhead=2.0, interval=None)
+        sim, site, t, outcome = crash_scenario(20.0, 15.0, 30.0, policy)
+        assert outcome.work_lost == pytest.approx(2.0)
+        assert t.completion == pytest.approx(37.0)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(SimulationError):
+            CheckpointRestart(overhead=-1.0)
+        with pytest.raises(SimulationError):
+            CheckpointRestart(interval=-2.0)
+
+
+class TestAbandon:
+    def test_bounded_task_breaches_at_floor(self):
+        t = make_task(0.0, 20.0, value=100.0, decay=1.0, bound=40.0)
+        sim, site, t, outcome = crash_scenario(20.0, 15.0, 30.0, AbandonRestart(), task=t)
+        assert not outcome.requeued
+        assert outcome.penalty == pytest.approx(40.0)
+        assert t.state is TaskState.CANCELLED
+        assert t.realized_yield == pytest.approx(-40.0)
+        assert site.ledger.breaches == 1
+        assert site.ledger.breach_penalties == pytest.approx(40.0)
+        assert site.ledger.total_yield == pytest.approx(-40.0)
+        # the slot is free again: nothing left running
+        assert site.all_work_done()
+
+    def test_unbounded_task_falls_back_to_requeue(self):
+        t = make_task(0.0, 20.0, value=100.0, decay=1.0, bound=None)
+        sim, site, t, outcome = crash_scenario(20.0, 15.0, 30.0, AbandonRestart(), task=t)
+        assert outcome.requeued
+        assert t.state is TaskState.COMPLETED
+        assert site.ledger.breaches == 0
+
+
+class TestFactoryAndMisestimation:
+    def test_make_restart_policy_dispatch(self):
+        assert isinstance(
+            make_restart_policy(FaultSpec(mttf=1.0, mttr=1.0)), RequeueRestart
+        )
+        cp = make_restart_policy(
+            FaultSpec(
+                mttf=1.0,
+                mttr=1.0,
+                restart="checkpoint",
+                checkpoint_overhead=3.0,
+                checkpoint_interval=7.0,
+            )
+        )
+        assert isinstance(cp, CheckpointRestart)
+        assert (cp.overhead, cp.interval) == (3.0, 7.0)
+        assert isinstance(
+            make_restart_policy(FaultSpec(mttf=1.0, mttr=1.0, restart="abandon")),
+            AbandonRestart,
+        )
+
+    def test_requeue_restores_declared_estimate(self):
+        """A misestimated task requeues with its *declared* estimate, not
+        the true runtime — the site still cannot see the truth."""
+        t = make_task(0.0, runtime=30.0, estimate=10.0)
+        sim, site, t, _ = crash_scenario(30.0, 20.0, 25.0, RequeueRestart(), task=t)
+        assert t.state is TaskState.COMPLETED
+        assert t.completion == pytest.approx(55.0)  # 25 + full 30 rerun
+        assert t.estimated_remaining == pytest.approx(0.0, abs=1e-6) or t.finished
+
+    def test_crash_requires_running_task(self):
+        t = make_task(0.0, 10.0)
+        with pytest.raises(Exception):
+            t.crash(5.0, remaining=10.0, estimated_remaining=10.0)
+
+
+class TestMultiNode:
+    def test_crash_only_kills_victim_node(self):
+        sim = Simulator()
+        site = TaskServiceSite(
+            sim, processors=2, heuristic=FCFS(), restart_policy=RequeueRestart()
+        )
+        a = make_task(0.0, 20.0)
+        b = make_task(0.0, 20.0)
+        sim.schedule_at(0.0, site.submit, a)
+        sim.schedule_at(0.0, site.submit, b)
+        sim.schedule_at(5.0, site.crash_node, 0)
+        sim.schedule_at(10.0, site.repair_node, 0)
+        sim.run()
+        assert a.state is TaskState.COMPLETED and b.state is TaskState.COMPLETED
+        # exactly one of the two restarted
+        assert a.restarts + b.restarts == 1
+        assert math.isclose(max(a.completion, b.completion), 30.0)

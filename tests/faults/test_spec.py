@@ -1,0 +1,127 @@
+"""FaultSpec validation, sampling, and the survival models."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import SchedulingError, SimulationError
+from repro.faults import (
+    ExponentialSurvival,
+    FaultSpec,
+    WeibullSurvival,
+    survival_for,
+)
+from repro.sim.rng import RandomStreams
+
+
+def spec(**kwargs):
+    defaults = dict(mttf=1000.0, mttr=50.0)
+    defaults.update(kwargs)
+    return FaultSpec(**defaults)
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        s = spec()
+        assert s.enabled and s.restart == "requeue"
+        assert s.survival_discount is False and s.slack_inflation == 0.0
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            dict(mttf=0.0),
+            dict(mttf=-5.0),
+            dict(mttf=math.nan),
+            dict(mttr=-1.0),
+            dict(mttr=math.inf),
+            dict(ttf_distribution="pareto"),
+            dict(ttr_distribution="uniform"),
+            dict(weibull_shape=0.0),
+            dict(restart="reboot"),
+            dict(checkpoint_overhead=-1.0),
+            dict(checkpoint_interval=0.0),
+            dict(slack_inflation=-0.1),
+        ],
+    )
+    def test_rejects_bad_values(self, bad):
+        with pytest.raises(SimulationError):
+            spec(**bad)
+
+    def test_infinite_mttf_is_legal(self):
+        assert spec(mttf=math.inf).mttf == math.inf
+
+
+class TestSampling:
+    def test_exponential_mean_roughly_mttf(self):
+        s = spec(mttf=100.0)
+        rng = np.random.default_rng(0)
+        draws = [s.draw_ttf(rng) for _ in range(4000)]
+        assert np.mean(draws) == pytest.approx(100.0, rel=0.1)
+
+    def test_weibull_mean_roughly_mttf(self):
+        s = spec(mttf=100.0, ttf_distribution="weibull", weibull_shape=1.5)
+        rng = np.random.default_rng(0)
+        draws = [s.draw_ttf(rng) for _ in range(4000)]
+        assert np.mean(draws) == pytest.approx(100.0, rel=0.1)
+
+    def test_common_random_numbers_scale_exactly(self):
+        """Halving MTTF halves every draw — the CRN coupling the MTTF
+        sweeps rely on."""
+        a = [spec(mttf=1000.0).draw_ttf(np.random.default_rng(7)) for _ in range(1)]
+        rng1, rng2 = np.random.default_rng(7), np.random.default_rng(7)
+        s1, s2 = spec(mttf=1000.0), spec(mttf=500.0)
+        for _ in range(50):
+            assert s2.draw_ttf(rng2) == pytest.approx(s1.draw_ttf(rng1) / 2.0)
+        assert a  # silence unused warning
+
+    def test_infinite_mttf_draws_inf_but_consumes_stream(self):
+        """mttf=inf must advance the RNG exactly like a finite mttf, so
+        toggling faults on one sweep point cannot shift another's draws."""
+        finite, infinite = spec(mttf=10.0), spec(mttf=math.inf)
+        rng_a, rng_b = np.random.default_rng(3), np.random.default_rng(3)
+        assert math.isinf(infinite.draw_ttf(rng_a))
+        finite.draw_ttf(rng_b)
+        assert rng_a.random() == rng_b.random()
+
+    def test_zero_mttr_gives_zero_repair_time(self):
+        s = spec(mttr=0.0)
+        assert s.draw_ttr(np.random.default_rng(0)) == 0.0
+
+    def test_named_streams_are_stable(self):
+        a = RandomStreams(5).get("fault:node:3").random()
+        b = RandomStreams(5).get("fault:node:3").random()
+        assert a == b
+
+
+class TestSurvival:
+    def test_exponential_values(self):
+        s = ExponentialSurvival(100.0)
+        assert s.p_survive(0.0) == pytest.approx(1.0)
+        assert s.p_survive(100.0) == pytest.approx(math.exp(-1.0))
+
+    def test_exponential_vectorized(self):
+        s = ExponentialSurvival(50.0)
+        probs = s.p_survive(np.array([0.0, 50.0, 100.0]))
+        assert probs == pytest.approx([1.0, math.exp(-1), math.exp(-2)])
+
+    def test_infinite_mttf_never_fails(self):
+        s = ExponentialSurvival(math.inf)
+        assert np.all(s.p_survive(np.array([1.0, 1e12])) == 1.0)
+
+    def test_weibull_mean_consistency(self):
+        """The Weibull scale is calibrated so its mean equals the MTTF."""
+        s = WeibullSurvival(100.0, shape=2.0)
+        # integrate S(t) dt = E[T] for a nonnegative variable
+        ts = np.linspace(0, 2000, 400000)
+        mean = np.trapezoid(s.p_survive(ts), ts)
+        assert mean == pytest.approx(100.0, rel=1e-3)
+
+    def test_survival_for_matches_spec(self):
+        assert isinstance(survival_for(spec()), ExponentialSurvival)
+        weib = survival_for(spec(ttf_distribution="weibull", weibull_shape=2.0))
+        assert isinstance(weib, WeibullSurvival)
+
+    def test_rejects_bad_mttf(self):
+        with pytest.raises((SimulationError, SchedulingError)):
+            ExponentialSurvival(0.0)
