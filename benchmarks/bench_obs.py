@@ -1,0 +1,109 @@
+"""Observability overhead benchmark: the disabled path must be free.
+
+The telemetry layer's contract (DESIGN.md S27) is that an unobserved run
+pays nothing: the substrate holds ``obs=None`` by default, and even an
+*attached but fully disabled* observer (``null_observability()``) only
+adds one ``is not None`` check per hook site.  This benchmark pins that
+contract numerically: min-of-N wall time for a fig3-style site
+simulation with a null observer attached must stay within 2% of the
+bare run — and the yields must match exactly, because observation can
+never perturb results.
+
+Run with ``pytest benchmarks/bench_obs.py -s``.  Set ``BENCH_OBS_RECORD=1``
+to refresh the committed ``BENCH_obs.json`` baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.obs import MetricsRegistry, Observability, null_observability
+from repro.scheduling.firstprice import FirstPrice
+from repro.site.driver import simulate_site
+from repro.workload import economy_spec, generate_trace
+
+#: fig3-style single-site run: economy mix, default processors.
+N_JOBS = 800
+ROUNDS = 9
+OVERHEAD_LIMIT = 1.02
+
+_BASELINE_PATH = os.path.join(os.path.dirname(__file__), "BENCH_obs.json")
+
+
+def _run_once(trace, spec, obs=None) -> tuple[float, float]:
+    started = time.perf_counter()
+    result = simulate_site(
+        trace,
+        FirstPrice(),
+        processors=spec.processors,
+        keep_records=False,
+        obs=obs,
+    )
+    return time.perf_counter() - started, result.total_yield
+
+
+def _min_of(trace, spec, rounds: int, make_obs) -> tuple[float, float]:
+    """Best-of-N wall time (noise-robust) plus the invariant yield."""
+    times = []
+    yields = set()
+    for _ in range(rounds):
+        elapsed, total_yield = _run_once(trace, spec, obs=make_obs())
+        times.append(elapsed)
+        yields.add(total_yield)
+    assert len(yields) == 1, f"non-deterministic yields within one config: {yields}"
+    return min(times), yields.pop()
+
+
+def bench_obs_null_overhead(benchmark):
+    spec = economy_spec(n_jobs=N_JOBS)
+    trace = generate_trace(spec, seed=0)
+    _run_once(trace, spec)  # warm-up: imports, allocator, caches
+
+    bare_s, bare_yield = _min_of(trace, spec, ROUNDS, lambda: None)
+    null_s, null_yield = _min_of(trace, spec, ROUNDS, null_observability)
+    full_s, full_yield = _min_of(
+        trace,
+        spec,
+        3,  # informational only; full instrumentation is allowed to cost
+        lambda: Observability(registry=MetricsRegistry(), spans=True, profiler=True),
+    )
+
+    assert null_yield == bare_yield, "a null observer changed the result"
+    assert full_yield == bare_yield, "full instrumentation changed the result"
+
+    ratio = null_s / bare_s
+    print()
+    print(
+        f"bare {bare_s * 1e3:.1f}ms  null-attached {null_s * 1e3:.1f}ms "
+        f"(x{ratio:.3f})  fully-instrumented {full_s * 1e3:.1f}ms "
+        f"(x{full_s / bare_s:.3f})"
+    )
+    assert ratio < OVERHEAD_LIMIT, (
+        f"null observability overhead x{ratio:.3f} exceeds the "
+        f"x{OVERHEAD_LIMIT} budget (bare {bare_s * 1e3:.2f}ms, "
+        f"null {null_s * 1e3:.2f}ms)"
+    )
+
+    if os.environ.get("BENCH_OBS_RECORD"):
+        with open(_BASELINE_PATH, "w") as handle:
+            json.dump(
+                {
+                    "workload": {"n_jobs": N_JOBS, "seed": 0, "mix": "economy"},
+                    "rounds": ROUNDS,
+                    "bare_ms": bare_s * 1e3,
+                    "null_attached_ms": null_s * 1e3,
+                    "fully_instrumented_ms": full_s * 1e3,
+                    "null_overhead_ratio": ratio,
+                    "limit": OVERHEAD_LIMIT,
+                },
+                handle,
+                indent=1,
+                sort_keys=True,
+            )
+            handle.write("\n")
+        print(f"recorded {_BASELINE_PATH}")
+
+    # one timed round for pytest-benchmark's report
+    benchmark.pedantic(lambda: _run_once(trace, spec), rounds=1, iterations=1)

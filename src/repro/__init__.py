@@ -15,9 +15,12 @@ The library implements the paper's full system from scratch:
 * the §4.1 **synthetic workload generator** with bimodal value/decay
   classes and load-factor calibration (:mod:`repro.workload`),
 * a from-scratch **discrete-event simulation kernel**
-  (:mod:`repro.sim`), and
+  (:mod:`repro.sim`),
 * an **experiment harness** regenerating every evaluation figure
-  (:mod:`repro.experiments`, ``repro`` CLI).
+  (:mod:`repro.experiments`, ``repro`` CLI), and
+* an **observability layer**: lifecycle span trees, a metrics registry,
+  scheduler profiling, and Chrome-trace export (:mod:`repro.obs`,
+  ``docs/observability.md``).
 
 Quickstart::
 
@@ -49,6 +52,7 @@ from repro.errors import (
     WorkloadError,
 )
 from repro.market import Broker, MarketEconomy, MarketSite, run_market
+from repro.obs import MetricsRegistry, Observability, observing
 from repro.scheduling import (
     FCFS,
     SRPT,
@@ -93,6 +97,8 @@ __all__ = [
     "MarketEconomy",
     "MarketError",
     "MarketSite",
+    "MetricsRegistry",
+    "Observability",
     "PiecewiseLinearValueFunction",
     "PresentValue",
     "ProcessError",
@@ -118,6 +124,7 @@ __all__ = [
     "generate_trace",
     "make_heuristic",
     "millennium_spec",
+    "observing",
     "run_market",
     "simulate_site",
 ]

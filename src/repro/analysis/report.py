@@ -51,12 +51,15 @@ def _class_breakdown(ledger: YieldLedger) -> list[dict]:
 def run_report(
     ledger: YieldLedger,
     timeline: Optional[SiteTimeline] = None,
+    obs=None,
 ) -> dict:
     """Structured summary of one site run.
 
-    Returns a dict with three sections: ``accounting`` (ledger summary),
-    ``execution`` (timeline stats, when a timeline was attached), and
-    ``by_class`` (per-value-class earnings).
+    Returns a dict with up to four sections: ``accounting`` (ledger
+    summary), ``execution`` (timeline stats, when a timeline was
+    attached), ``by_class`` (per-value-class earnings), and
+    ``telemetry`` (the attached observer's full snapshot — metrics,
+    per-run rows, span retention, profile) when *obs* is given.
     """
     report = {
         "accounting": ledger.summary(),
@@ -70,6 +73,8 @@ def run_report(
             "preemptions": timeline.preemption_count(),
             "segments": len(timeline.segments),
         }
+    if obs is not None:
+        report["telemetry"] = obs.snapshot()
     return report
 
 
@@ -97,4 +102,14 @@ def format_report(report: dict) -> str:
         )
     if report["by_class"]:
         lines.append(format_table(report["by_class"], title="earnings by value class"))
+    telemetry = report.get("telemetry")
+    if telemetry and telemetry.get("metrics"):
+        metrics = telemetry["metrics"]
+        counters = {
+            name: snap["value"]
+            for name, snap in metrics.items()
+            if snap.get("type") == "counter"
+        }
+        shown = ", ".join(f"{k}={v:g}" for k, v in sorted(counters.items())[:6])
+        lines.append(f"telemetry: {len(metrics)} metrics ({shown}, ...)")
     return "\n".join(lines)

@@ -21,6 +21,9 @@ from typing import Optional, Sequence
 
 from repro.experiments.runner import EXPERIMENTS, run_experiment, shape_report
 
+#: Heuristics ``repro profile`` times (factories resolved lazily).
+PROFILE_HEURISTICS = ("fcfs", "srpt", "firstprice", "pv", "firstreward")
+
 #: (x, y, line, log_x) axes for `--plot`, matching the paper's figures.
 PLOT_SPECS = {
     "fig3": ("discount_pct", "improvement_pct", "value_skew", True),
@@ -76,6 +79,19 @@ def _build_parser() -> argparse.ArgumentParser:
             help="also write the result rows as JSON"
             + (" (default: %(default)s)" if name == "faults" else ""),
         )
+        p.add_argument(
+            "--trace-out",
+            default=None,
+            metavar="PATH",
+            help="write task-lifecycle spans as Chrome trace_event JSON "
+            "(loadable in ui.perfetto.dev / chrome://tracing)",
+        )
+        p.add_argument(
+            "--metrics-out",
+            default=None,
+            metavar="PATH",
+            help="write the metrics registry + profiling snapshot as JSON",
+        )
 
     t = sub.add_parser("trace", help="generate and print a sample workload trace")
     t.add_argument("--n-jobs", type=int, default=20)
@@ -99,7 +115,63 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     s.add_argument("--n-jobs", type=int, default=1000)
     s.add_argument("--seeds", type=int, nargs="+", default=[0])
+
+    pr = sub.add_parser(
+        "profile",
+        help="wall-clock profile: per-heuristic select() cost and kernel "
+        "event dispatch over a standard workload",
+    )
+    pr.add_argument("--n-jobs", type=int, default=1000)
+    pr.add_argument("--seed", type=int, default=0)
+    pr.add_argument(
+        "--heuristics",
+        nargs="+",
+        default=None,
+        choices=sorted(PROFILE_HEURISTICS),
+        help="subset of heuristics to profile (default: all)",
+    )
+    pr.add_argument(
+        "--detail",
+        action="store_true",
+        help="also print each heuristic's full timer table (dispatch families)",
+    )
     return parser
+
+
+def _make_obs(args):
+    """Build the observability attachment the output flags ask for."""
+    if not (args.trace_out or args.metrics_out):
+        return None
+    from repro.obs import MetricsRegistry, Observability
+
+    return Observability(
+        registry=MetricsRegistry(),
+        spans=args.trace_out is not None,
+        profiler=args.metrics_out is not None,
+    )
+
+
+def _write_obs(obs, args) -> None:
+    if args.trace_out:
+        from repro.obs import write_chrome_trace
+
+        spans = obs.spans
+        write_chrome_trace(
+            spans.finished, args.trace_out, run_of=obs.run_of, dropped=spans.dropped
+        )
+        suffix = f", {spans.dropped} dropped" if spans.dropped else ""
+        print(f"  wrote {args.trace_out} ({len(spans)} spans{suffix})")
+    if args.metrics_out:
+        import json
+        import os
+
+        directory = os.path.dirname(args.metrics_out)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(args.metrics_out, "w") as handle:
+            json.dump(obs.snapshot(), handle, sort_keys=True, indent=1)
+            handle.write("\n")
+        print(f"  wrote {args.metrics_out}")
 
 
 def _run_one(name: str, args) -> int:
@@ -107,21 +179,34 @@ def _run_one(name: str, args) -> int:
     overrides = {}
     if args.n_jobs is not None:
         overrides["n_jobs"] = args.n_jobs
+    obs = _make_obs(args)
     if args.reps is not None:
         from repro.experiments.replication import run_replicated
 
         if args.seeds is not None or args.check:
             raise SystemExit("--reps cannot be combined with --seeds or --check")
         start = time.time()
-        replicated = run_replicated(name, replications=args.reps, scale=scale, **overrides)
+        if obs is not None:
+            from repro.obs import observing
+
+            with observing(obs):
+                replicated = run_replicated(
+                    name, replications=args.reps, scale=scale, **overrides
+                )
+        else:
+            replicated = run_replicated(
+                name, replications=args.reps, scale=scale, **overrides
+            )
         print(replicated.table())
         print(f"  ({scale} scale, {args.reps} replications, {time.time() - start:.1f}s)")
+        if obs is not None:
+            _write_obs(obs, args)
         print()
         return 0
     if args.seeds is not None:
         overrides["seeds"] = tuple(args.seeds)
     start = time.time()
-    result = run_experiment(name, scale=scale, **overrides)
+    result = run_experiment(name, scale=scale, obs=obs, **overrides)
     elapsed = time.time() - start
     if args.plot:
         from repro.analysis import render_curves
@@ -138,8 +223,10 @@ def _run_one(name: str, args) -> int:
         print(result.table())
     print(f"  ({scale} scale, {elapsed:.1f}s)")
     if args.out:
-        _write_json(result, args.out)
+        _write_json(result, args.out, obs=obs)
         print(f"  wrote {args.out}")
+    if obs is not None:
+        _write_obs(obs, args)
     failures = 0
     if args.check:
         print("shape checks:")
@@ -151,7 +238,7 @@ def _run_one(name: str, args) -> int:
     return failures
 
 
-def _write_json(result, path: str) -> None:
+def _write_json(result, path: str, obs=None) -> None:
     import json
     import os
 
@@ -161,12 +248,89 @@ def _write_json(result, path: str) -> None:
         "rows": result.rows,
         "notes": result.notes,
     }
+    if obs is not None:
+        payload["observability"] = obs.snapshot()
     directory = os.path.dirname(path)
     if directory:
         os.makedirs(directory, exist_ok=True)
     with open(path, "w") as handle:
         json.dump(payload, handle, sort_keys=True, indent=1)
         handle.write("\n")
+
+
+def _run_profile(args) -> int:
+    """Time each heuristic's select() hot path over one standard workload."""
+    from repro.metrics.tables import format_table
+    from repro.obs import Observability, profile_summary
+    from repro.site.driver import simulate_site
+    from repro.workload import economy_spec, generate_trace
+
+    def _factory(name: str):
+        if name == "fcfs":
+            from repro.scheduling.baselines import FCFS
+
+            return FCFS()
+        if name == "srpt":
+            from repro.scheduling.baselines import SRPT
+
+            return SRPT()
+        if name == "firstprice":
+            from repro.scheduling.firstprice import FirstPrice
+
+            return FirstPrice()
+        if name == "pv":
+            from repro.scheduling.presentvalue import PresentValue
+
+            return PresentValue()
+        from repro.scheduling.firstreward import FirstReward
+
+        return FirstReward()
+
+    names = args.heuristics or list(PROFILE_HEURISTICS)
+    spec = economy_spec(n_jobs=args.n_jobs)
+    trace = generate_trace(spec, seed=args.seed)
+    print(
+        f"profiling {len(names)} heuristic(s): {spec.n_jobs} jobs, "
+        f"{spec.processors} processors, seed {args.seed}"
+    )
+    rows = []
+    details = []
+    for name in names:
+        obs = Observability(registry=None, spans=False, profiler=True)
+        started = time.time()
+        simulate_site(
+            trace, _factory(name), processors=spec.processors,
+            keep_records=False, obs=obs,
+        )
+        wall = time.time() - started
+        profiler = obs.profiler
+        select = profiler.stats.get(f"select:{name}")
+        scored = profiler.rows.get(f"select:{name}:rows")
+        row = {"heuristic": name, "wall_s": wall}
+        if select is not None:
+            snap = select.snapshot()
+            row.update(
+                select_calls=snap["count"],
+                select_total_ms=snap["total_s"] * 1e3,
+                select_mean_us=snap["mean_us"],
+                select_max_us=snap["max_us"],
+            )
+        if scored is not None:
+            row["mean_pool"] = scored.mean
+        rows.append(row)
+        if args.detail:
+            details.append(profile_summary(profiler, title=f"{name}: all timers"))
+    columns = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    print(format_table(rows, columns=columns, title="select() hot path per heuristic"))
+    for block in details:
+        print()
+        print(block)
+    print()
+    return 0
 
 
 def _print_trace(args) -> None:
@@ -196,6 +360,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "trace":
         _print_trace(args)
         return 0
+    if args.command == "profile":
+        return _run_profile(args)
     if args.command == "consolidation":
         from repro.experiments.consolidation import run_consolidation
 

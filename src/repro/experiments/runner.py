@@ -13,9 +13,12 @@ subset; the CLI reports all of them.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.errors import ExperimentError
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.obs.instrument import Observability
 from repro.experiments.common import FigureResult
 from repro.experiments.faults import run_faults
 from repro.experiments.fig3 import run_fig3
@@ -362,8 +365,20 @@ EXPERIMENTS: dict[str, ExperimentDef] = {
 }
 
 
-def run_experiment(name: str, scale: str = "quick", **overrides) -> FigureResult:
-    """Run a registered experiment at ``quick`` or ``full`` scale."""
+def run_experiment(
+    name: str,
+    scale: str = "quick",
+    obs: "Optional[Observability]" = None,
+    **overrides,
+) -> FigureResult:
+    """Run a registered experiment at ``quick`` or ``full`` scale.
+
+    With *obs* given, the whole sweep runs under that observability
+    attachment: every ``simulate_site`` replication brackets itself as
+    one observed run (spans, metrics, profiling), and the observer's
+    per-run summary rows plus span/drop bookkeeping are folded into the
+    result's notes so exported JSON carries its own telemetry summary.
+    """
     try:
         definition = EXPERIMENTS[name]
     except KeyError:
@@ -374,7 +389,21 @@ def run_experiment(name: str, scale: str = "quick", **overrides) -> FigureResult
         raise ExperimentError(f"scale must be 'quick' or 'full', got {scale!r}")
     kwargs = dict(definition.quick if scale == "quick" else definition.full)
     kwargs.update(overrides)
-    return definition.run(**kwargs)
+    if obs is None:
+        return definition.run(**kwargs)
+
+    from repro.obs.instrument import observing
+
+    with observing(obs):
+        result = definition.run(**kwargs)
+    spans = obs.spans
+    note = f"observability: {obs.run_index + 1} instrumented runs"
+    if spans is not None:
+        note += f", {len(spans)} spans retained"
+        if spans.dropped:
+            note += f" ({spans.dropped} dropped)"
+    result.notes.append(note)
+    return result
 
 
 def shape_report(result: FigureResult) -> list[ShapeCheck]:

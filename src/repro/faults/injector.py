@@ -26,13 +26,16 @@ in the dependency order.
 from __future__ import annotations
 
 import math
-from typing import Callable, Iterable, Optional
+from typing import TYPE_CHECKING, Callable, Iterable, Optional
 
 from repro.faults.spec import FaultSpec
 from repro.faults.stats import FaultStats
 from repro.sim.kernel import Simulator
 from repro.sim.process import Interrupt, Process, Timeout
 from repro.sim.rng import RandomStreams
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.obs.instrument import Observability
 
 
 class FaultInjector:
@@ -54,6 +57,11 @@ class FaultInjector:
         Callables invoked with the node id when its state flips.
     stats:
         Optional shared :class:`FaultStats` (created when omitted).
+    obs:
+        Optional :class:`~repro.obs.instrument.Observability` that
+        receives crash/repair counters, a time-weighted nodes-down
+        gauge, and per-node instant span marks.  Observer only: fault
+        timing is drawn from the same streams with or without it.
     """
 
     def __init__(
@@ -66,6 +74,7 @@ class FaultInjector:
         on_repair: Callable[[int], None],
         stats: Optional[FaultStats] = None,
         stream_prefix: str = "fault",
+        obs: "Optional[Observability]" = None,
     ) -> None:
         self.sim = sim
         self.spec = spec
@@ -74,6 +83,8 @@ class FaultInjector:
         self.on_repair = on_repair
         self.stats = stats if stats is not None else FaultStats()
         self.stream_prefix = stream_prefix
+        self.obs = obs
+        self._down_count = 0
         self.processes: list[Process] = []
         if spec.enabled:
             for node_id in node_ids:
@@ -96,12 +107,18 @@ class FaultInjector:
                     return  # crashes disabled (mttf=inf): nothing to do
                 yield Timeout(ttf, daemon=True)
                 self.stats.note_down(node_id, self.sim.now)
+                if self.obs is not None:
+                    self._down_count += 1
+                    self.obs.node_crashed(node_id, self.sim.now, self._down_count)
                 self.on_crash(node_id)
                 ttr = self.spec.draw_ttr(rng)
                 # essential: a down node's repair must fire even if it is
                 # the only future event — it may be what unblocks the queue
                 yield Timeout(ttr)
                 self.stats.note_up(node_id, self.sim.now)
+                if self.obs is not None:
+                    self._down_count -= 1
+                    self.obs.node_repaired(node_id, self.sim.now, self._down_count)
                 self.on_repair(node_id)
         except Interrupt:
             return  # stop() shuts the loop down cleanly

@@ -37,8 +37,9 @@ from repro.sim.process import Process, Timeout
 from repro.tasks.bid import ServerBid, TaskBid
 from repro.tasks.contract import Contract
 
-if TYPE_CHECKING:  # pragma: no cover - type-only import
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from repro.faults.messages import MessageFaults
+    from repro.obs.instrument import Observability
 
 _negotiation_ids = itertools.count()
 
@@ -109,6 +110,7 @@ class LatentNegotiator:
         latency: float = 0.0,
         strategy: SelectionStrategy = best_yield,
         faults: "Optional[MessageFaults]" = None,
+        obs: "Optional[Observability]" = None,
     ) -> None:
         if not sites:
             raise MarketError("negotiator requires at least one site")
@@ -119,6 +121,7 @@ class LatentNegotiator:
         self.latency = float(latency)
         self.strategy = strategy
         self.faults = faults
+        self.obs = obs
         self.records: list[NegotiationRecord] = []
 
     def negotiate(self, bid: TaskBid) -> NegotiationRecord:
@@ -134,6 +137,8 @@ class LatentNegotiator:
             bid = replace(bid, released_at=self.sim.now)
         record = NegotiationRecord(negotiation_id=next(_negotiation_ids))
         self.records.append(record)
+        if self.obs is not None:
+            self.obs.negotiation_started(record.negotiation_id, self.sim.now)
         Process(self.sim, self._run(bid, record), name=f"negotiation-{record.negotiation_id}")
         return record
 
@@ -144,7 +149,22 @@ class LatentNegotiator:
         lost = self.faults.lost()
         if lost:
             record.lost_messages += 1
+            if self.obs is not None:
+                self.obs.message_lost()
         return lost
+
+    def _finish(self, record: NegotiationRecord) -> NegotiationRecord:
+        """Close the negotiation's telemetry span (success or failure)."""
+        if self.obs is not None:
+            contract = record.contract
+            self.obs.negotiation_finished(
+                record.negotiation_id,
+                self.sim.now,
+                contracted=contract is not None,
+                task_id=contract.task_tid if contract is not None else None,
+                site_id=contract.site_id if contract is not None else None,
+            )
+        return record
 
     def _run(self, bid: TaskBid, record: NegotiationRecord):
         record.request = BidRequest(record.negotiation_id, bid, self.sim.now)
@@ -168,6 +188,10 @@ class LatentNegotiator:
                     record.responses.append(
                         BidResponse(record.negotiation_id, site.site_id, quote, self.sim.now)
                     )
+                    if self.obs is not None:
+                        self.obs.negotiation_quoted(
+                            record.negotiation_id, site.site_id, quote is None, self.sim.now
+                        )
                     if quote is not None:
                         quotes.append(quote)
                         quote_sites.append(site)
@@ -179,17 +203,19 @@ class LatentNegotiator:
                 # silence: the client cannot tell a lost request from
                 # lost responses — wait out the timeout and retransmit
                 if self.faults is None or attempt >= self.faults.max_retries:
-                    return record
+                    return self._finish(record)
                 yield Timeout(self.faults.retry_delay(attempt))
                 self.faults.note_retry()
                 record.retries += 1
+                if self.obs is not None:
+                    self.obs.message_retry()
                 attempt += 1
                 continue
             break
 
         index = self.strategy(bid, quotes)
         if index is None:
-            return record
+            return self._finish(record)
 
         # -- phase 2: award (with retransmission) -----------------------
         winner = quotes[index]
@@ -204,15 +230,17 @@ class LatentNegotiator:
                     record.negotiation_id, winner.site_id, winner, self.sim.now
                 )
                 record.contract = winner_site.award(bid, winner)
-                return record
+                return self._finish(record)
 
             # the site never saw the award; back off and resend (the
             # quote goes staler with every round trip)
             if attempt >= self.faults.max_retries:
-                return record
+                return self._finish(record)
             yield Timeout(self.faults.retry_delay(attempt))
             self.faults.note_retry()
             record.retries += 1
+            if self.obs is not None:
+                self.obs.message_retry()
             attempt += 1
 
     # ------------------------------------------------------------------

@@ -51,6 +51,7 @@ class MarketSite:
         preemption: bool = False,
         discard_expired: bool = False,
         price_board=None,
+        obs=None,
     ) -> None:
         self.sim = sim
         self.site_id = site_id
@@ -64,6 +65,7 @@ class MarketSite:
             preemption=preemption,
             discard_expired=discard_expired,
             site_id=site_id,
+            obs=obs,
         )
         self.engine.finish_listeners.append(self._on_task_finished)
         self._contract_of: dict[int, Contract] = {}  # task tid -> contract
@@ -111,6 +113,7 @@ class MarketSite:
             )
         contract = Contract(bid, server_bid, signed_at=self.sim.now)
         task = self._task_for(bid)
+        contract.task_tid = task.tid
         self._contract_of[task.tid] = contract
         self.contracts.append(contract)
         self.engine.submit(task, force=True)

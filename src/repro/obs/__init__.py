@@ -1,0 +1,75 @@
+"""End-to-end observability: spans, metrics, profiling, and exporters.
+
+The telemetry layer (DESIGN.md S27) answers *why* a run produced its
+numbers — which tasks were admitted, preempted, crashed, or allowed to
+decay — without perturbing the run:
+
+* **Causal spans** (:mod:`repro.obs.spans`): every task gets a lifecycle
+  span tree (submitted → queued → running ⇄ preempted/crashed →
+  completed | aborted | breached) with parent links across the
+  market/site boundary, mirrored into the kernel's ``SimTrace``.
+* **Metrics registry** (:mod:`repro.obs.registry`): counters, gauges,
+  histograms, and time-weighted gauges published by the kernel, site,
+  admission, scheduling, market, and fault layers; a shared null
+  registry keeps the disabled path free and bit-inert.
+* **Profiling hooks** (:mod:`repro.obs.profile`): ``perf_counter``
+  timers around the scheduler ``select()`` hot path (per heuristic) and
+  kernel event dispatch (per tag family).
+* **Exporters** (:mod:`repro.obs.export`): Chrome/Perfetto
+  ``trace_event`` JSON, JSONL streams with explicit drop counters, and
+  human summary tables.
+
+Attach with the ambient context::
+
+    from repro.obs import Observability, observing
+
+    obs = Observability(registry=MetricsRegistry(), profiler=True)
+    with observing(obs):
+        run_experiment("fig3", scale="quick")
+    print(metrics_summary(obs.registry))
+"""
+
+from repro.obs.export import (
+    metrics_summary,
+    profile_summary,
+    spans_to_chrome,
+    spans_to_jsonl,
+    trace_to_jsonl,
+    write_chrome_trace,
+)
+from repro.obs.instrument import Observability, current, null_observability, observing
+from repro.obs.profile import Profiler, TimerStat
+from repro.obs.registry import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    TimeWeightedGauge,
+)
+from repro.obs.spans import Span, SpanTracker
+
+__all__ = [
+    "NULL_REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "Observability",
+    "Profiler",
+    "Span",
+    "SpanTracker",
+    "TimeWeightedGauge",
+    "TimerStat",
+    "current",
+    "metrics_summary",
+    "null_observability",
+    "observing",
+    "profile_summary",
+    "spans_to_chrome",
+    "spans_to_jsonl",
+    "trace_to_jsonl",
+    "write_chrome_trace",
+]

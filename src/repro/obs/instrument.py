@@ -1,0 +1,433 @@
+"""The observability facade and ambient attachment context.
+
+One :class:`Observability` object bundles the three instruments of the
+telemetry layer — the metrics registry, the lifecycle span tracker, and
+the wall-clock profiler — behind the hook methods the substrate calls:
+the site engine reports task transitions, the market layer reports
+negotiation phases, the fault injector reports node state flips, and the
+driver brackets each simulation run.
+
+Attachment is ambient: experiment harnesses sweep dozens of
+``simulate_site`` calls through code that never mentions telemetry, so
+``with observing(obs): ...`` puts *obs* where
+:func:`~repro.site.driver.simulate_site` finds it.  The substrate holds
+``None`` by default and guards every publish with one ``is not None``
+check — the disabled path costs nothing and is bit-identical by
+construction (no instrument ever touches the clock, queue, or RNG).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import math
+from typing import TYPE_CHECKING, Iterator, Optional
+
+from repro.obs.profile import Profiler
+from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
+from repro.obs.spans import Span, SpanTracker
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.sim.trace import SimTrace
+    from repro.site.admission import AdmissionDecision
+    from repro.tasks.task import Task
+
+
+class Observability:
+    """Bundle of instruments plus the hook surface the substrate calls.
+
+    Parameters
+    ----------
+    registry:
+        A :class:`~repro.obs.registry.MetricsRegistry`, or the shared
+        :data:`~repro.obs.registry.NULL_REGISTRY` (the default) for a
+        no-op metrics path.
+    spans:
+        ``True`` (default) builds lifecycle span trees; ``False`` skips
+        span bookkeeping entirely.
+    profiler:
+        ``True`` attaches a :class:`~repro.obs.profile.Profiler` that the
+        driver wires around the scheduler hot path and kernel dispatch.
+    span_capacity:
+        Retention cap for finished spans (oldest dropped and counted).
+    trace:
+        Optional :class:`~repro.sim.trace.SimTrace` mirror so span
+        open/close marks interleave with kernel events in one log.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        spans: bool = True,
+        profiler: bool = False,
+        span_capacity: Optional[int] = None,
+        trace: "Optional[SimTrace]" = None,
+    ) -> None:
+        self.registry = registry if registry is not None else NULL_REGISTRY
+        self.spans = SpanTracker(capacity=span_capacity, trace=trace) if spans else None
+        self.profiler = Profiler() if profiler else None
+        self.trace = trace
+        #: open root/segment spans per live task id (current run only)
+        self._roots: dict[int, Span] = {}
+        self._segments: dict[int, Span] = {}
+        #: open negotiation spans by negotiation id
+        self._negotiations: dict[int, Span] = {}
+        #: closed negotiation spans awaiting their task root, by task id
+        self._adoptable: dict[int, Span] = {}
+        #: span_id -> run index, for multi-replication Chrome exports
+        self.run_of: dict[int, int] = {}
+        self.run_index = -1
+        self.runs: list[dict] = []
+        self._run_open = False
+
+    @property
+    def live(self) -> bool:
+        """Whether any instrument would record anything.
+
+        The driver hands a dead observer (null registry, spans and
+        profiler off) to nobody: the substrate keeps ``obs=None`` and a
+        fully disabled attachment costs exactly as much as no attachment
+        — run bracketing aside, which stays so ``obs.runs`` still counts
+        replications.
+        """
+        return self.registry.enabled or self.spans is not None or self.profiler is not None
+
+    # ------------------------------------------------------------------
+    # Run bracketing (one run == one simulate_site replication)
+    # ------------------------------------------------------------------
+    def begin_run(self, label: str = "") -> int:
+        self.run_index += 1
+        self._run_open = True
+        self._roots.clear()
+        self._segments.clear()
+        self._negotiations.clear()
+        self._adoptable.clear()
+        self.registry.counter("runs.started").inc()
+        if label:
+            self.runs.append({"run": self.run_index, "label": label})
+        else:
+            self.runs.append({"run": self.run_index})
+        return self.run_index
+
+    def end_run(self, now: float, **summary) -> None:
+        """Close the run: terminal-close any still-open spans, fold summary."""
+        if self.spans is not None:
+            for tid, segment in list(self._segments.items()):
+                self.spans.close(segment, now, truncated=True)
+            for tid, root in list(self._roots.items()):
+                self.spans.close(root, now, truncated=True)
+        self._roots.clear()
+        self._segments.clear()
+        self._negotiations.clear()
+        self._adoptable.clear()
+        self.registry.counter("runs.finished").inc()
+        if "events" in summary:
+            self.registry.counter("kernel.events").inc(summary["events"])
+        if self._run_open and self.runs:
+            self.runs[-1].update(summary)
+        self._run_open = False
+
+    def _mark(self, span: Span) -> Span:
+        if self.run_index >= 0:
+            self.run_of[span.span_id] = self.run_index
+        return span
+
+    # ------------------------------------------------------------------
+    # Site lifecycle hooks
+    # ------------------------------------------------------------------
+    def task_submitted(self, task: "Task", now: float) -> None:
+        self.registry.counter("tasks.submitted").inc()
+        if self.spans is None:
+            return
+        root = self._mark(
+            self.spans.open(
+                f"task:{task.tid}",
+                "task",
+                now,
+                task_id=task.tid,
+                track=f"task:{task.tid}",
+                arrival=task.arrival,
+                runtime=task.runtime,
+                value=task.value,
+                decay=task.decay,
+            )
+        )
+        self._roots[task.tid] = root
+        # adopt the negotiation that placed this task, if one is pending
+        negotiation = self._adoptable.pop(task.tid, None)
+        if negotiation is not None and negotiation.parent_id is None:
+            negotiation.parent_id = root.span_id
+            negotiation.task_id = task.tid
+        self._mark(self.spans.instant("submitted", "task", now, parent=root))
+
+    def task_admitted(self, task: "Task", decision: "Optional[AdmissionDecision]", now: float) -> None:
+        self.registry.counter("tasks.accepted").inc()
+        if decision is not None:
+            if math.isfinite(decision.slack):
+                self.registry.histogram("admission.slack").observe(decision.slack)
+            self.registry.histogram("admission.expected_yield").observe(
+                decision.expected_yield
+            )
+        if self.spans is None:
+            return
+        root = self._roots.get(task.tid)
+        if root is None:
+            return
+        args = {}
+        if decision is not None:
+            args = {"slack": decision.slack, "expected_start": decision.expected_start}
+        self._segments[task.tid] = self._mark(
+            self.spans.open("queued", "task", now, parent=root, **args)
+        )
+
+    def task_rejected(self, task: "Task", decision: "AdmissionDecision", now: float) -> None:
+        self.registry.counter("tasks.rejected").inc()
+        if math.isfinite(decision.slack):
+            self.registry.histogram("admission.rejected_slack").observe(decision.slack)
+        if self.spans is None:
+            return
+        root = self._roots.pop(task.tid, None)
+        if root is None:
+            return
+        self._mark(self.spans.instant("rejected", "task", now, parent=root, slack=decision.slack))
+        self.spans.close(root, now, outcome="rejected")
+
+    def task_started(self, task: "Task", now: float) -> None:
+        self.registry.counter("tasks.dispatched").inc()
+        self.registry.histogram("queue.wait").observe(now - task.arrival)
+        if self.spans is None:
+            return
+        root = self._roots.get(task.tid)
+        if root is None:
+            return
+        segment = self._segments.pop(task.tid, None)
+        if segment is not None:
+            self.spans.close(segment, now)
+        self._segments[task.tid] = self._mark(
+            self.spans.open("running", "task", now, parent=root, remaining=task.remaining)
+        )
+
+    def task_preempted(self, task: "Task", now: float) -> None:
+        self.registry.counter("tasks.preemptions").inc()
+        if self.spans is None:
+            self._requeue_segment(task, now, "preempted")
+            return
+        root = self._roots.get(task.tid)
+        if root is not None:
+            self._mark(
+                self.spans.instant(
+                    "preempted", "task", now, parent=root, preemptions=task.preemptions
+                )
+            )
+        self._requeue_segment(task, now, "preempted")
+
+    def task_restarted(self, task: "Task", now: float, requeued: bool) -> None:
+        self.registry.counter("tasks.crashed").inc()
+        if requeued:
+            self.registry.counter("tasks.restarts").inc()
+        if self.spans is None:
+            self._requeue_segment(task, now, "crashed")
+            return
+        root = self._roots.get(task.tid)
+        if root is not None:
+            self._mark(
+                self.spans.instant(
+                    "crashed", "task", now, parent=root, requeued=requeued,
+                    restarts=task.restarts,
+                )
+            )
+        if requeued:
+            self._requeue_segment(task, now, "crashed")
+
+    def _requeue_segment(self, task: "Task", now: float, why: str) -> None:
+        if self.spans is None:
+            return
+        root = self._roots.get(task.tid)
+        segment = self._segments.pop(task.tid, None)
+        if segment is not None:
+            self.spans.close(segment, now, ended_by=why)
+        if root is not None:
+            self._segments[task.tid] = self._mark(
+                self.spans.open("queued", "task", now, parent=root, after=why)
+            )
+
+    def _terminal(self, task: "Task", now: float, outcome: str, **args) -> None:
+        if self.spans is None:
+            return
+        segment = self._segments.pop(task.tid, None)
+        if segment is not None:
+            self.spans.close(segment, now)
+        root = self._roots.pop(task.tid, None)
+        if root is None:
+            return
+        self._mark(self.spans.instant(outcome, "task", now, parent=root, **args))
+        self.spans.close(root, now, outcome=outcome)
+
+    def task_completed(self, task: "Task", now: float) -> None:
+        self.registry.counter("tasks.completed").inc()
+        self.registry.histogram("tasks.realized_yield").observe(task.realized_yield)
+        self.registry.histogram("tasks.delay").observe(task.delay_if_completed_at(now))
+        if task.preemptions:
+            self.registry.histogram("tasks.preemptions_per_task").observe(task.preemptions)
+        self._terminal(task, now, "completed", realized_yield=task.realized_yield)
+
+    def task_aborted(self, task: "Task", now: float) -> None:
+        """Expired-task discard (bounded penalties, value at the floor)."""
+        self.registry.counter("tasks.aborted").inc()
+        self._terminal(task, now, "aborted", realized_yield=task.realized_yield)
+
+    def task_breached(self, task: "Task", now: float, penalty: float) -> None:
+        """Contract breach: a crash-killed task was abandoned."""
+        self.registry.counter("tasks.breached").inc()
+        self.registry.histogram("tasks.breach_penalty").observe(penalty)
+        self._terminal(task, now, "breached", penalty=penalty)
+
+    def queue_depth(self, depth: int, running: int, now: float) -> None:
+        self.registry.time_weighted("site.queue_depth").observe(depth, now)
+        self.registry.time_weighted("site.busy_nodes").observe(running, now)
+
+    # ------------------------------------------------------------------
+    # Scheduling hooks
+    # ------------------------------------------------------------------
+    def survival_discount(self, factor: float) -> None:
+        self.registry.histogram("scheduling.survival_discount").observe(factor)
+
+    # ------------------------------------------------------------------
+    # Market hooks
+    # ------------------------------------------------------------------
+    def negotiation_started(self, negotiation_id: int, now: float, task_id: Optional[int] = None) -> None:
+        self.registry.counter("market.negotiations").inc()
+        if self.spans is None:
+            return
+        span = self._mark(
+            self.spans.open(
+                f"negotiation:{negotiation_id}",
+                "market",
+                now,
+                task_id=task_id,
+                track=f"negotiation:{negotiation_id}",
+            )
+        )
+        self._negotiations[negotiation_id] = span
+
+    def negotiation_quoted(self, negotiation_id: int, site_id: str, declined: bool, now: float) -> None:
+        self.registry.counter("market.quotes.declined" if declined else "market.quotes").inc()
+        if self.spans is None:
+            return
+        span = self._negotiations.get(negotiation_id)
+        if span is not None:
+            self._mark(
+                self.spans.instant(
+                    "declined" if declined else "quoted", "market", now,
+                    parent=span, site=site_id,
+                )
+            )
+
+    def negotiation_finished(
+        self, negotiation_id: int, now: float, contracted: bool,
+        task_id: Optional[int] = None, site_id: Optional[str] = None,
+    ) -> None:
+        self.registry.counter(
+            "market.contracted" if contracted else "market.failed"
+        ).inc()
+        if self.spans is None:
+            return
+        span = self._negotiations.pop(negotiation_id, None)
+        if span is None:
+            return
+        if contracted and task_id is not None:
+            # cross the market/site boundary: hang the negotiation under
+            # the task root once the award lands (submission may follow)
+            span.task_id = task_id
+            root = self._roots.get(task_id)
+            if root is not None:
+                span.parent_id = root.span_id
+            else:
+                self._adoptable[task_id] = span  # adopted at task_submitted
+        outcome = "contracted" if contracted else "failed"
+        args = {"outcome": outcome}
+        if site_id is not None:
+            args["site"] = site_id
+        self.spans.close(span, now, **args)
+
+    def message_lost(self) -> None:
+        self.registry.counter("market.messages_lost").inc()
+
+    def message_retry(self) -> None:
+        self.registry.counter("market.retries").inc()
+
+    # ------------------------------------------------------------------
+    # Fault hooks
+    # ------------------------------------------------------------------
+    def node_crashed(self, node_id: int, now: float, down_count: int) -> None:
+        self.registry.counter("faults.crashes").inc()
+        self.registry.time_weighted("faults.nodes_down").observe(down_count, now)
+        if self.spans is not None:
+            self._mark(
+                self.spans.instant("crash", "fault", now, track=f"node:{node_id}")
+            )
+
+    def node_repaired(self, node_id: int, now: float, down_count: int) -> None:
+        self.registry.counter("faults.repairs").inc()
+        self.registry.time_weighted("faults.nodes_down").observe(down_count, now)
+        if self.spans is not None:
+            self._mark(
+                self.spans.instant("repair", "fault", now, track=f"node:{node_id}")
+            )
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Everything the metrics JSON export carries."""
+        out: dict = {"metrics": self.registry.snapshot(), "runs": self.runs}
+        if self.spans is not None:
+            out["spans"] = {
+                "finished": len(self.spans),
+                "open": self.spans.open_count,
+                "dropped": self.spans.dropped,
+            }
+        if self.profiler is not None:
+            out["profile"] = self.profiler.snapshot()
+        return out
+
+    def __repr__(self) -> str:
+        spans = len(self.spans) if self.spans is not None else "off"
+        prof = len(self.profiler) if self.profiler is not None else "off"
+        return (
+            f"<Observability metrics={len(self.registry)} spans={spans} "
+            f"profile={prof} runs={self.run_index + 1}>"
+        )
+
+
+def null_observability() -> Observability:
+    """A fully disabled instance: null registry, no spans, no profiler.
+
+    Attaching this must leave every result byte-identical — the golden
+    regression in ``tests/faults/test_determinism.py`` pins it.
+    """
+    return Observability(registry=None, spans=False, profiler=False)
+
+
+# ----------------------------------------------------------------------
+# Ambient attachment
+# ----------------------------------------------------------------------
+
+_ACTIVE: list[Observability] = []
+
+
+def current() -> Optional[Observability]:
+    """The innermost ambient observability, or ``None``."""
+    return _ACTIVE[-1] if _ACTIVE else None
+
+
+@contextlib.contextmanager
+def observing(obs: Optional[Observability]) -> Iterator[Optional[Observability]]:
+    """Make *obs* ambient for the block (``None`` is a transparent no-op)."""
+    if obs is None:
+        yield None
+        return
+    _ACTIVE.append(obs)
+    try:
+        yield obs
+    finally:
+        _ACTIVE.pop()

@@ -1,0 +1,137 @@
+"""Wall-clock profiling of the simulator's hot paths.
+
+Two hooks, both keyed by a label and aggregated into
+:class:`TimerStat` (count / total / min / max wall seconds):
+
+* the scheduler ``select()`` hot path — wrap any heuristic in
+  :class:`~repro.scheduling.profiled.ProfiledHeuristic` and every
+  ``scores()`` call is timed under ``select:{heuristic.name}``;
+* kernel event dispatch — pass the profiler to
+  :class:`~repro.sim.kernel.Simulator` and every callback is timed
+  under ``dispatch:{tag prefix}``.
+
+Timers use :func:`time.perf_counter` and live entirely outside
+simulated time; an attached profiler cannot change results, only
+measure how fast they were produced.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+
+class TimerStat:
+    """Aggregate of one timed label."""
+
+    __slots__ = ("label", "count", "total", "min", "max")
+
+    def __init__(self, label: str) -> None:
+        self.label = label
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = 0.0
+
+    def add(self, elapsed: float) -> None:
+        self.count += 1
+        self.total += elapsed
+        if elapsed < self.min:
+            self.min = elapsed
+        if elapsed > self.max:
+            self.max = elapsed
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "total_s": self.total,
+            "mean_us": self.mean * 1e6,
+            "min_us": (self.min if self.count else 0.0) * 1e6,
+            "max_us": self.max * 1e6,
+        }
+
+    def __repr__(self) -> str:
+        return f"<TimerStat {self.label} n={self.count} total={self.total:.4f}s>"
+
+
+class Profiler:
+    """perf_counter aggregation, one :class:`TimerStat` per label."""
+
+    def __init__(self) -> None:
+        self.stats: dict[str, TimerStat] = {}
+        #: dimensionless per-call samples (e.g. rows scored per select())
+        self.rows: dict[str, TimerStat] = {}
+
+    def stat(self, label: str) -> TimerStat:
+        stat = self.stats.get(label)
+        if stat is None:
+            stat = TimerStat(label)
+            self.stats[label] = stat
+        return stat
+
+    def rows_stat(self, label: str) -> TimerStat:
+        stat = self.rows.get(label)
+        if stat is None:
+            stat = TimerStat(label)
+            self.rows[label] = stat
+        return stat
+
+    def start(self) -> float:
+        """Raw timestamp for the :meth:`stop` pairing (hot-path friendly)."""
+        return time.perf_counter()
+
+    def stop(self, label: str, started: float) -> float:
+        elapsed = time.perf_counter() - started
+        self.stat(label).add(elapsed)
+        return elapsed
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        out = {label: self.stats[label].snapshot() for label in sorted(self.stats)}
+        for label in sorted(self.rows):
+            stat = self.rows[label]
+            out[label] = {
+                "count": stat.count,
+                "total": stat.total,
+                "mean": stat.mean,
+                "min": stat.min if stat.count else 0.0,
+                "max": stat.max,
+            }
+        return out
+
+    def summary_rows(self) -> list[dict]:
+        """Rows for ``format_table``, slowest total first."""
+        rows = []
+        for label, stat in sorted(
+            self.stats.items(), key=lambda kv: kv[1].total, reverse=True
+        ):
+            snap = stat.snapshot()
+            rows.append(
+                {
+                    "label": label,
+                    "calls": snap["count"],
+                    "total_ms": snap["total_s"] * 1e3,
+                    "mean_us": snap["mean_us"],
+                    "max_us": snap["max_us"],
+                }
+            )
+        for label, stat in sorted(self.rows.items()):
+            rows.append(
+                {
+                    "label": label,
+                    "calls": stat.count,
+                    "mean_rows": stat.mean,
+                    "max_rows": stat.max,
+                }
+            )
+        return rows
+
+    def __len__(self) -> int:
+        return len(self.stats)
+
+    def __repr__(self) -> str:
+        return f"<Profiler {len(self.stats)} labels>"

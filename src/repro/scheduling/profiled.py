@@ -1,0 +1,47 @@
+"""Profiling wrapper for the scheduler ``select()`` hot path.
+
+Every scheduling decision funnels through ``heuristic.scores()`` — the
+site's dispatch loop, the preemption pass, and admission's candidate
+probe all pay it.  :class:`ProfiledHeuristic` times each call with the
+observability layer's :class:`~repro.obs.profile.Profiler` under
+``select:{name}`` and tracks scored-pool sizes under
+``select:{name}:rows`` so per-heuristic cost can be related to queue
+depth.  Scores pass through bit-identically; wrapping changes timing
+visibility only.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.scheduling.base import PoolColumns, SchedulingHeuristic
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.obs.profile import Profiler
+
+
+class ProfiledHeuristic(SchedulingHeuristic):
+    """Delegates to *inner*, timing every ``scores()`` call."""
+
+    def __init__(self, inner: SchedulingHeuristic, profiler: "Profiler") -> None:
+        self.inner = inner
+        self.profiler = profiler
+        self.name = inner.name
+        self._label = f"select:{inner.name}"
+        self._rows = profiler.rows_stat(f"{self._label}:rows")
+
+    def scores(self, cols: PoolColumns, now: float) -> np.ndarray:
+        started = self.profiler.start()
+        out = self.inner.scores(cols, now)
+        self.profiler.stop(self._label, started)
+        self._rows.add(float(len(cols)))
+        return out
+
+    def __getattr__(self, attr):
+        # expose inner knobs (alpha, discount_rate, ...) transparently
+        return getattr(self.inner, attr)
+
+    def __repr__(self) -> str:
+        return f"<ProfiledHeuristic {self.inner!r}>"

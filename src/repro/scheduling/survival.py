@@ -36,23 +36,33 @@ class SurvivalDiscount(SchedulingHeuristic):
     survival:
         Any object with a vectorized ``p_survive(horizons) -> probs``
         method, e.g. :class:`repro.faults.survival.ExponentialSurvival`.
+    registry:
+        Optional :class:`~repro.obs.registry.MetricsRegistry`; when
+        attached, the mean survival factor applied per scoring pass is
+        published as ``scheduling.survival_discount`` (an observer only —
+        scores are identical either way).
     """
 
     name = "survival"
 
-    def __init__(self, inner: SchedulingHeuristic, survival) -> None:
+    def __init__(self, inner: SchedulingHeuristic, survival, registry=None) -> None:
         if not hasattr(survival, "p_survive"):
             raise SchedulingError(
                 f"survival model {survival!r} lacks a p_survive method"
             )
         self.inner = inner
         self.survival = survival
+        self.registry = registry
 
     def scores(self, cols: PoolColumns, now: float) -> np.ndarray:
         base = self.inner.scores(cols, now)
         if len(base) == 0:
             return base
         p = self.survival.p_survive(cols.remaining)
+        if self.registry is not None:
+            self.registry.histogram("scheduling.survival_discount").observe(
+                float(p.mean())
+            )
         return np.where(base > 0.0, base * p, base)
 
     def __repr__(self) -> str:

@@ -10,12 +10,16 @@ may schedule further events; time never moves backwards.
 from __future__ import annotations
 
 import math
-from typing import Any, Callable, Optional
+import time
+from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from repro.errors import SimulationError
 from repro.sim.events import Event, EventState
 from repro.sim.queue import EventQueue
 from repro.sim.trace import SimTrace
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.obs.profile import Profiler
 
 
 class Simulator:
@@ -28,6 +32,11 @@ class Simulator:
     trace:
         Optional :class:`~repro.sim.trace.SimTrace` that records every
         fired event; cheap to leave off (the default) for production runs.
+    profiler:
+        Optional :class:`~repro.obs.profile.Profiler` that wall-clock
+        times every event dispatch, aggregated per tag family
+        (``dispatch:arrival``, ``dispatch:site``, …).  Like the trace,
+        it observes only — simulated behaviour is unchanged.
 
     Example
     -------
@@ -39,10 +48,16 @@ class Simulator:
     (5.0, ['hello'])
     """
 
-    def __init__(self, start: float = 0.0, trace: Optional[SimTrace] = None) -> None:
+    def __init__(
+        self,
+        start: float = 0.0,
+        trace: Optional[SimTrace] = None,
+        profiler: "Optional[Profiler]" = None,
+    ) -> None:
         self.now = float(start)
         self._queue = EventQueue()
         self._trace = trace
+        self._profiler = profiler
         self._running = False
         self._stopped = False
         self.events_fired = 0
@@ -115,7 +130,14 @@ class Simulator:
         self.events_fired += 1
         if self._trace is not None:
             self._trace.record(self.now, "fire", event.tag, event)
-        event.callback(*event.args)
+        if self._profiler is None:
+            event.callback(*event.args)
+        else:
+            tag = event.tag
+            family = tag.split(":", 1)[0] if tag else "untagged"
+            started = time.perf_counter()
+            event.callback(*event.args)
+            self._profiler.stat(f"dispatch:{family}").add(time.perf_counter() - started)
         return event
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
@@ -174,3 +196,7 @@ class Simulator:
     @property
     def trace(self) -> Optional[SimTrace]:
         return self._trace
+
+    @property
+    def profiler(self) -> "Optional[Profiler]":
+        return self._profiler

@@ -91,6 +91,20 @@ class SimTrace:
         self.dropped = 0
 
     def dump(self, limit: Optional[int] = None) -> str:
-        """Human-readable rendering of the last *limit* records."""
+        """Human-readable rendering of the last *limit* records.
+
+        A header line flags ring-buffer truncation so a bounded tail is
+        never mistaken for the whole run.
+        """
         records = self._records if limit is None else self._records[-limit:]
-        return "\n".join(str(r) for r in records)
+        body = "\n".join(str(r) for r in records)
+        if self.dropped:
+            header = f"... {self.dropped} older record(s) dropped (capacity {self._capacity})"
+            return f"{header}\n{body}" if body else header
+        return body
+
+    def __str__(self) -> str:
+        extra = f", {self.dropped} dropped" if self.dropped else ""
+        return f"<SimTrace {len(self._records)} records{extra}>"
+
+    __repr__ = __str__

@@ -7,6 +7,7 @@ completed all jobs."
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
@@ -22,6 +23,36 @@ from repro.workload.trace import Trace
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from repro.faults.spec import FaultSpec
     from repro.faults.stats import FaultStats
+    from repro.obs.instrument import Observability
+
+
+def _resolve_obs(obs: "Optional[Observability]") -> "Optional[Observability]":
+    """An explicit *obs* wins; otherwise pick up the ambient attachment."""
+    if obs is not None:
+        return obs
+    from repro.obs.instrument import current
+
+    return current()
+
+
+def _wire_obs(obs: "Observability", heuristic, admission, sim_trace, label: str):
+    """Begin a run under *obs*; returns the (possibly wrapped) heuristic,
+    the kernel trace to use, the profiler, and the observer to hand the
+    engine — ``None`` when nothing would record, so a fully disabled
+    attachment costs the substrate exactly as much as no attachment."""
+    obs.begin_run(label)
+    if not obs.live:
+        return heuristic, sim_trace, None, None
+    profiler = obs.profiler
+    if profiler is not None:
+        from repro.scheduling.profiled import ProfiledHeuristic
+
+        heuristic = ProfiledHeuristic(heuristic, profiler)
+    if admission is not None and getattr(admission, "registry", None) is None:
+        admission.registry = obs.registry
+    if sim_trace is None:
+        sim_trace = obs.trace
+    return heuristic, sim_trace, profiler, obs
 
 
 @dataclass
@@ -54,6 +85,7 @@ def simulate_site(
     sim_trace: Optional[SimTrace] = None,
     faults: "Optional[FaultSpec]" = None,
     fault_seed: int = 0,
+    obs: "Optional[Observability]" = None,
 ) -> SiteResult:
     """Feed every task of *trace* to a fresh site; run until drained.
 
@@ -68,7 +100,16 @@ def simulate_site(
     discount on the heuristic, admission slack inflation) take effect.
     ``faults=None`` — the default everywhere — is the fault-free engine,
     bit for bit.
+
+    With ``obs`` given — or an ambient :func:`repro.obs.observing`
+    attachment active — the run is bracketed as one observability
+    *replication*: lifecycle spans, site/admission metrics, and (when
+    the observer carries a profiler) ``select()``/dispatch timings are
+    published, and a per-run summary row is folded into ``obs.runs``.
+    Observability is strictly read-only: results are byte-identical with
+    it on, off, or null.
     """
+    obs = _resolve_obs(obs)
     if faults is not None and faults.enabled:
         return _simulate_site_with_faults(
             trace,
@@ -81,8 +122,15 @@ def simulate_site(
             discard_expired=discard_expired,
             keep_records=keep_records,
             sim_trace=sim_trace,
+            obs=obs,
         )
-    sim = Simulator(trace=sim_trace)
+    profiler = None
+    engine_obs = None
+    if obs is not None:
+        heuristic, sim_trace, profiler, engine_obs = _wire_obs(
+            obs, heuristic, admission, sim_trace, heuristic.name
+        )
+    sim = Simulator(trace=sim_trace, profiler=profiler)
     ledger = YieldLedger(keep_records=keep_records)
     site = TaskServiceSite(
         sim,
@@ -92,11 +140,23 @@ def simulate_site(
         preemption=preemption,
         discard_expired=discard_expired,
         ledger=ledger,
+        obs=engine_obs,
     )
     tasks = trace.to_tasks()
     for task in tasks:
         sim.schedule_at(task.arrival, site.submit, task, tag="arrival")
+    started = time.perf_counter()
     sim.run()
+    if obs is not None:
+        obs.end_run(
+            sim.now,
+            heuristic=heuristic.name,
+            tasks=len(tasks),
+            events=sim.events_fired,
+            sim_time=sim.now,
+            total_yield=ledger.total_yield,
+            wall_s=time.perf_counter() - started,
+        )
 
     _check_drained(site, tasks)
     return SiteResult(ledger=ledger, site=site, sim=sim, tasks=tasks)
@@ -124,6 +184,7 @@ def _simulate_site_with_faults(
     discard_expired: bool = False,
     keep_records: bool = True,
     sim_trace: Optional[SimTrace] = None,
+    obs: "Optional[Observability]" = None,
 ) -> SiteResult:
     """The fault-injected variant of :func:`simulate_site`."""
     from repro.faults.injector import FaultInjector
@@ -134,14 +195,21 @@ def _simulate_site_with_faults(
     from repro.sim.rng import RandomStreams
 
     if faults.survival_discount:
-        heuristic = SurvivalDiscount(heuristic, survival_for(faults))
+        registry = obs.registry if obs is not None and obs.live else None
+        heuristic = SurvivalDiscount(heuristic, survival_for(faults), registry=registry)
     if admission is not None and faults.slack_inflation > 0:
         # the knob lives on the admission policy; respect an explicit
         # setting, otherwise apply the spec's
         if getattr(admission, "slack_inflation", 0.0) == 0.0:
             admission.slack_inflation = faults.slack_inflation
 
-    sim = Simulator(trace=sim_trace)
+    profiler = None
+    engine_obs = None
+    if obs is not None:
+        heuristic, sim_trace, profiler, engine_obs = _wire_obs(
+            obs, heuristic, admission, sim_trace, f"{heuristic.name}+faults"
+        )
+    sim = Simulator(trace=sim_trace, profiler=profiler)
     ledger = YieldLedger(keep_records=keep_records)
     site = TaskServiceSite(
         sim,
@@ -152,6 +220,7 @@ def _simulate_site_with_faults(
         discard_expired=discard_expired,
         ledger=ledger,
         restart_policy=make_restart_policy(faults),
+        obs=engine_obs,
     )
     stats = FaultStats()
     stats.tasks_killed = 0  # explicit: updated via the crash listener below
@@ -173,17 +242,30 @@ def _simulate_site_with_faults(
         on_crash=site.crash_node,
         on_repair=site.repair_node,
         stats=stats,
+        obs=engine_obs,
     )
 
     tasks = trace.to_tasks()
     for task in tasks:
         sim.schedule_at(task.arrival, site.submit, task, tag="arrival")
+    started = time.perf_counter()
     sim.run()
     # deliver shutdown interrupts to the injector loops (daemon events at
     # the current instant still fire), then close the downtime books
     injector.stop()
     sim.run()
     stats.close(sim.now)
+    if obs is not None:
+        obs.end_run(
+            sim.now,
+            heuristic=heuristic.name,
+            tasks=len(tasks),
+            events=sim.events_fired,
+            sim_time=sim.now,
+            total_yield=ledger.total_yield,
+            crashes=stats.crashes,
+            wall_s=time.perf_counter() - started,
+        )
 
     _check_drained(site, tasks)
     return SiteResult(

@@ -18,9 +18,12 @@ All scoring is vectorized over the pending pool's columns.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.obs.instrument import Observability
 
 from repro.errors import SchedulingError
 from repro.scheduling.base import PoolColumns, SchedulingHeuristic, decay_horizons
@@ -63,6 +66,12 @@ class TaskServiceSite:
         :mod:`repro.faults.restart`).  ``None`` defaults to
         requeue-from-scratch on the first crash that needs it; sites
         never exposed to faults never touch this path.
+    obs:
+        Optional :class:`~repro.obs.instrument.Observability` receiving
+        task lifecycle spans and site metrics.  ``None`` (the default)
+        publishes nothing; every hook is guarded by one ``is not None``
+        check, and instruments never touch the clock or any RNG, so an
+        attached observer cannot change results.
     """
 
     def __init__(
@@ -76,6 +85,7 @@ class TaskServiceSite:
         site_id: str = "site",
         ledger: Optional[YieldLedger] = None,
         restart_policy=None,
+        obs: "Optional[Observability]" = None,
     ) -> None:
         self.sim = sim
         self.site_id = site_id
@@ -84,6 +94,7 @@ class TaskServiceSite:
         self.preemption = preemption
         self.discard_expired = discard_expired
         self.restart_policy = restart_policy
+        self.obs = obs
         self.processors = ProcessorPool(processors)
         self.pool = PendingPool()
         self.ledger = ledger if ledger is not None else YieldLedger()
@@ -126,6 +137,8 @@ class TaskServiceSite:
             )
         task.submit()
         self.ledger.note_submission(task, now)
+        if self.obs is not None:
+            self.obs.task_submitted(task, now)
 
         decision: Optional[AdmissionDecision] = None
         if self.admission is not None and not force:
@@ -133,11 +146,15 @@ class TaskServiceSite:
             if not decision.accept:
                 task.reject(now)
                 self.ledger.note_reject(task, now)
+                if self.obs is not None:
+                    self.obs.task_rejected(task, decision, now)
                 return decision
 
         task.accept()
         self.pool.add(task)
         self.ledger.note_accept(task)
+        if self.obs is not None:
+            self.obs.task_admitted(task, decision, now)
         self._schedule_pass()
         return decision
 
@@ -169,6 +186,8 @@ class TaskServiceSite:
                 break  # nothing pending fits the free nodes
         if self.preemption:
             self._preemption_pass()
+        if self.obs is not None:
+            self.obs.queue_depth(len(self.pool), self.processors.busy_count, now)
 
     def _start(self, task: Task) -> None:
         now = self.sim.now
@@ -179,6 +198,8 @@ class TaskServiceSite:
             completion, self._on_completion, task, tag=f"{self.site_id}:complete:{task.tid}"
         )
         self._completion_events[task.tid] = event
+        if self.obs is not None:
+            self.obs.task_started(task, now)
         for listener in self.start_listeners:
             listener(task)
 
@@ -188,6 +209,8 @@ class TaskServiceSite:
         self.processors.vacate(task, now)
         task.complete(now)
         self.ledger.note_completion(task)
+        if self.obs is not None:
+            self.obs.task_completed(task, now)
         for listener in self.finish_listeners:
             listener(task)
         self._schedule_pass()
@@ -255,6 +278,8 @@ class TaskServiceSite:
         task.preempt(now)
         self.ledger.note_preempt(task)
         self.pool.add(task)
+        if self.obs is not None:
+            self.obs.task_preempted(task, now)
         for listener in self.preempt_listeners:
             listener(task)
 
@@ -287,8 +312,13 @@ class TaskServiceSite:
         if outcome.requeued:
             self.pool.add(victim)
             self.ledger.note_restart(victim)
+            if self.obs is not None:
+                self.obs.task_restarted(victim, now, requeued=True)
         else:
             self.ledger.note_breach(victim, outcome.penalty)
+            if self.obs is not None:
+                self.obs.task_restarted(victim, now, requeued=False)
+                self.obs.task_breached(victim, now, outcome.penalty)
             for listener in self.finish_listeners:
                 listener(victim)
         for listener in self.crash_listeners:
@@ -322,6 +352,8 @@ class TaskServiceSite:
             self.pool.remove(task)
             task.cancel(now)
             self.ledger.note_cancel(task)
+            if self.obs is not None:
+                self.obs.task_aborted(task, now)
             for listener in self.finish_listeners:
                 listener(task)
 

@@ -39,6 +39,7 @@ class Contract:
         "settled",
         "actual_completion",
         "actual_price",
+        "task_tid",
     )
 
     def __init__(self, bid: TaskBid, server_bid: ServerBid, signed_at: float) -> None:
@@ -57,6 +58,9 @@ class Contract:
         self.settled = False
         self.actual_completion: Optional[float] = None
         self.actual_price: Optional[float] = None
+        #: tid of the site-side task executing this contract (set at
+        #: award time; links market spans to task lifecycle spans)
+        self.task_tid: Optional[int] = None
 
     def price_at(self, completion: float, release: float) -> float:
         """Price owed if the task released at *release* completes at *completion*."""

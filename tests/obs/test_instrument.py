@@ -1,0 +1,229 @@
+"""Tests for the Observability facade: lifecycle trees, run bracketing,
+the ambient attachment, and the market/site boundary link."""
+
+import math
+
+from repro.market import MarketSite
+from repro.market.protocol import LatentNegotiator
+from repro.obs import (
+    MetricsRegistry,
+    Observability,
+    current,
+    null_observability,
+    observing,
+)
+from repro.scheduling import FirstPrice
+from repro.sim import Simulator
+from repro.site import SlackAdmission
+from repro.site.driver import simulate_site
+from repro.tasks import TaskBid
+from repro.workload import economy_spec, generate_trace, millennium_spec
+
+
+def _observed_run(obs, n_jobs=60, mix=millennium_spec, **site_kwargs):
+    spec = mix(n_jobs=n_jobs)
+    trace = generate_trace(spec, seed=0)
+    return simulate_site(
+        trace,
+        FirstPrice(),
+        processors=spec.processors,
+        keep_records=False,
+        obs=obs,
+        **site_kwargs,
+    )
+
+
+class TestLifecycleTrees:
+    def test_complete_tree_for_every_task(self):
+        obs = Observability(registry=MetricsRegistry())
+        _observed_run(obs)
+        roots = [s for s in obs.spans.finished if s.name.startswith("task:")]
+        assert roots, "no task root spans recorded"
+        for root in roots:
+            children = obs.spans.children_of(root)
+            names = {c.name for c in children}
+            assert "submitted" in names
+            assert root.args.get("outcome") in ("completed", "aborted", "rejected")
+            # every accepted task queued at least once before finishing
+            if root.args["outcome"] == "completed":
+                assert "queued" in names and "running" in names
+
+    def test_preemption_appears_inside_the_tree(self):
+        obs = Observability(registry=MetricsRegistry())
+        # millennium burst mix with preemption: bursts force preemptions
+        _observed_run(obs, n_jobs=120, preemption=True)
+        preempted = obs.spans.of_name("preempted")
+        assert preempted, "expected at least one preemption in a burst mix"
+        mark = preempted[0]
+        root = next(
+            s for s in obs.spans.finished if s.span_id == mark.parent_id
+        )
+        tree = obs.spans.tree(root)
+        names = [s.name for s in tree]
+        # preemption splits execution: two queued and two running segments
+        assert names.count("queued") >= 2
+        assert names.count("running") >= 2
+        assert root.args["outcome"] == "completed"
+        # and the registry agrees
+        assert obs.registry.counter("tasks.preemptions").value >= 1
+
+    def test_spans_disabled_leaves_metrics_working(self):
+        obs = Observability(registry=MetricsRegistry(), spans=False)
+        _observed_run(obs)
+        assert obs.spans is None
+        assert obs.registry.counter("tasks.completed").value > 0
+
+
+class TestRunBracketing:
+    def test_each_run_summary_and_span_attribution(self):
+        obs = Observability(registry=MetricsRegistry())
+        _observed_run(obs)
+        _observed_run(obs)
+        assert obs.run_index == 1
+        assert len(obs.runs) == 2
+        for row in obs.runs:
+            assert row["heuristic"] == "firstprice"
+            assert row["tasks"] > 0 and row["wall_s"] > 0
+        assert set(obs.run_of.values()) == {0, 1}
+
+    def test_end_run_truncates_stragglers(self):
+        obs = Observability(registry=MetricsRegistry())
+        from repro.tasks import Task
+        from repro.valuefn.linear import LinearDecayValueFunction
+
+        task = Task(0.0, 5.0, LinearDecayValueFunction(10.0, 0.1, 0.0))
+        obs.begin_run("manual")
+        obs.task_submitted(task, 0.0)
+        obs.end_run(3.0)
+        roots = obs.spans.of_name(f"task:{task.tid}")
+        assert len(roots) == 1
+        assert roots[0].closed and roots[0].args.get("truncated") is True
+
+    def test_null_observability_still_counts_runs(self):
+        obs = null_observability()
+        assert not obs.live
+        _observed_run(obs)
+        assert obs.run_index == 0
+        assert obs.runs[0]["heuristic"] == "firstprice"
+        assert obs.spans is None and len(obs.registry) == 0
+
+
+class TestAmbientAttachment:
+    def test_observing_scopes_the_attachment(self):
+        obs = null_observability()
+        assert current() is None
+        with observing(obs):
+            assert current() is obs
+            with observing(None):  # transparent no-op
+                assert current() is obs
+        assert current() is None
+
+    def test_driver_picks_up_ambient_observer(self):
+        obs = Observability(registry=MetricsRegistry())
+        with observing(obs):
+            _observed_run(None)
+        assert obs.registry.counter("tasks.completed").value > 0
+
+    def test_explicit_argument_beats_ambient(self):
+        ambient = Observability(registry=MetricsRegistry())
+        explicit = Observability(registry=MetricsRegistry())
+        with observing(ambient):
+            _observed_run(explicit)
+        assert explicit.run_index == 0
+        assert ambient.run_index == -1
+
+
+class TestMarketBoundary:
+    def _negotiate(self, obs):
+        sim = Simulator()
+        site = MarketSite(
+            sim,
+            site_id="s",
+            processors=1,
+            heuristic=FirstPrice(),
+            admission=SlackAdmission(threshold=-math.inf, discount_rate=0.0),
+            obs=obs,
+        )
+        negotiator = LatentNegotiator(sim, [site], latency=1.0, obs=obs)
+        obs.begin_run("market")
+        record = negotiator.negotiate(
+            TaskBid(runtime=10.0, value=100.0, decay=1.0, client_id="c")
+        )
+        sim.run()
+        obs.end_run(sim.now)
+        return record
+
+    def test_negotiation_span_links_under_task_root(self):
+        obs = Observability(registry=MetricsRegistry())
+        record = self._negotiate(obs)
+        assert record.accepted
+        neg = obs.spans.of_category("market")
+        neg_root = next(s for s in neg if s.name.startswith("negotiation:"))
+        assert neg_root.args["outcome"] == "contracted"
+        assert neg_root.task_id == record.contract.task_tid
+        task_root = next(
+            s
+            for s in obs.spans.finished
+            if s.name == f"task:{record.contract.task_tid}"
+        )
+        # the negotiation hangs under the task's lifecycle tree
+        assert neg_root.parent_id == task_root.span_id
+        assert neg_root in obs.spans.tree(task_root)
+        # and market counters moved
+        assert obs.registry.counter("market.contracted").value == 1
+        assert obs.registry.counter("market.quotes").value == 1
+
+    def test_failed_negotiation_closes_unlinked(self):
+        obs = Observability(registry=MetricsRegistry())
+        sim = Simulator()
+        site = MarketSite(
+            sim,
+            site_id="s",
+            processors=1,
+            heuristic=FirstPrice(),
+            admission=SlackAdmission(threshold=1e12, discount_rate=0.0),  # declines
+            obs=obs,
+        )
+        negotiator = LatentNegotiator(sim, [site], obs=obs)
+        obs.begin_run("market")
+        record = negotiator.negotiate(
+            TaskBid(runtime=10.0, value=100.0, decay=1.0, client_id="c")
+        )
+        sim.run()
+        obs.end_run(sim.now)
+        assert not record.accepted
+        neg_root = next(s for s in obs.spans.of_category("market") if s.name.startswith("negotiation:"))
+        assert neg_root.args["outcome"] == "failed"
+        assert neg_root.parent_id is None
+        assert obs.registry.counter("market.failed").value == 1
+
+
+class TestFaultHooks:
+    def test_crash_restart_breach_instrumented(self):
+        from repro.faults import FaultSpec
+
+        obs = Observability(registry=MetricsRegistry())
+        spec = economy_spec(n_jobs=80, load_factor=1.0)
+        trace = generate_trace(spec, seed=0)
+        simulate_site(
+            trace,
+            FirstPrice(),
+            processors=spec.processors,
+            keep_records=False,
+            faults=FaultSpec(mttf=150.0, mttr=20.0),
+            fault_seed=1,
+            obs=obs,
+        )
+        reg = obs.registry
+        assert reg.counter("faults.crashes").value > 0
+        assert obs.spans.of_name("crash"), "no node-crash instants recorded"
+        assert reg.time_weighted("faults.nodes_down").writes > 0
+        # a crash either requeues (restart) or abandons (breach)
+        crashed = reg.counter("tasks.crashed").value
+        if crashed:
+            assert (
+                reg.counter("tasks.restarts").value
+                + reg.counter("tasks.breached").value
+                > 0
+            )
+        assert obs.runs[0]["crashes"] > 0

@@ -1,0 +1,110 @@
+"""Tests for the wall-clock profiler and the profiled-heuristic wrapper."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.obs import Profiler, TimerStat
+from repro.scheduling.base import PoolColumns
+from repro.scheduling.firstprice import FirstPrice
+from repro.scheduling.profiled import ProfiledHeuristic
+
+
+def _cols(n=3):
+    return PoolColumns(
+        arrival=np.zeros(n),
+        runtime=np.linspace(1.0, n, n),
+        remaining=np.linspace(1.0, n, n),
+        value=np.linspace(10.0, 10.0 * n, n),
+        decay=np.full(n, 0.1),
+        bound=np.full(n, math.inf),
+    )
+
+
+class TestTimerStat:
+    def test_aggregation(self):
+        stat = TimerStat("x")
+        for v in (0.002, 0.001, 0.003):
+            stat.add(v)
+        assert stat.count == 3
+        assert stat.total == pytest.approx(0.006)
+        assert stat.min == 0.001 and stat.max == 0.003
+        assert stat.mean == pytest.approx(0.002)
+        snap = stat.snapshot()
+        assert snap["mean_us"] == pytest.approx(2000.0)
+
+    def test_empty_snapshot_is_zeroed(self):
+        snap = TimerStat("x").snapshot()
+        assert snap["count"] == 0 and snap["min_us"] == 0.0
+
+
+class TestProfiler:
+    def test_start_stop_records_under_label(self):
+        p = Profiler()
+        started = p.start()
+        elapsed = p.stop("work", started)
+        assert elapsed >= 0.0
+        assert p.stats["work"].count == 1
+        assert len(p) == 1
+
+    def test_rows_stats_kept_apart_from_timers(self):
+        p = Profiler()
+        p.rows_stat("select:x:rows").add(5)
+        assert "select:x:rows" not in p.stats
+        snap = p.snapshot()
+        assert snap["select:x:rows"]["mean"] == 5
+        # timer snapshots carry µs fields, rows snapshots do not
+        p.stop("t", p.start())
+        assert "mean_us" in p.snapshot()["t"]
+        assert "mean_us" not in p.snapshot()["select:x:rows"]
+
+    def test_summary_rows_slowest_first(self):
+        p = Profiler()
+        p.stat("slow").add(1.0)
+        p.stat("fast").add(0.1)
+        labels = [r["label"] for r in p.summary_rows()]
+        assert labels.index("slow") < labels.index("fast")
+
+
+class TestProfiledHeuristic:
+    def test_scores_bit_identical_and_timed(self):
+        profiler = Profiler()
+        inner = FirstPrice()
+        wrapped = ProfiledHeuristic(inner, profiler)
+        cols = _cols()
+        assert np.array_equal(wrapped.scores(cols, 0.0), inner.scores(cols, 0.0))
+        stat = profiler.stats["select:firstprice"]
+        assert stat.count == 1
+        assert profiler.rows["select:firstprice:rows"].mean == 3
+
+    def test_name_and_attribute_delegation(self):
+        from repro.scheduling.firstreward import FirstReward
+
+        wrapped = ProfiledHeuristic(FirstReward(alpha=0.4), Profiler())
+        assert wrapped.name == "firstreward"
+        assert wrapped.alpha == 0.4  # __getattr__ falls through to inner
+
+
+class TestKernelDispatchProfiling:
+    def test_dispatch_timed_per_tag_family(self):
+        from repro.sim.kernel import Simulator
+
+        profiler = Profiler()
+        sim = Simulator(profiler=profiler)
+        sim.schedule(1.0, lambda: None, tag="arrival")
+        sim.schedule(2.0, lambda: None, tag="site:complete")
+        sim.schedule(3.0, lambda: None)
+        sim.run()
+        assert profiler.stats["dispatch:arrival"].count == 1
+        assert profiler.stats["dispatch:site"].count == 1
+        assert profiler.stats["dispatch:untagged"].count == 1
+
+    def test_unprofiled_kernel_has_no_timer_overhead_path(self):
+        from repro.sim.kernel import Simulator
+
+        sim = Simulator()
+        assert sim.profiler is None
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.now == 1.0

@@ -1,0 +1,118 @@
+"""Tests for lifecycle spans and the span tracker."""
+
+import pytest
+
+from repro.obs import Span, SpanTracker
+from repro.sim.trace import SimTrace
+
+
+class TestSpan:
+    def test_open_close_duration(self):
+        t = SpanTracker()
+        s = t.open("running", "task", 10.0)
+        assert not s.closed and s.duration == 0.0
+        t.close(s, 25.0)
+        assert s.closed and s.duration == 15.0 and not s.is_instant
+
+    def test_instant_has_zero_duration(self):
+        t = SpanTracker()
+        s = t.instant("preempted", "task", 5.0)
+        assert s.closed and s.is_instant and s.duration == 0.0
+
+    def test_double_close_rejected(self):
+        t = SpanTracker()
+        s = t.open("x", "task", 0.0)
+        t.close(s, 1.0)
+        with pytest.raises(ValueError):
+            t.close(s, 2.0)
+
+    def test_close_before_start_rejected(self):
+        t = SpanTracker()
+        s = t.open("x", "task", 5.0)
+        with pytest.raises(ValueError):
+            t.close(s, 4.0)
+
+    def test_children_inherit_task_and_track(self):
+        t = SpanTracker()
+        root = t.open("task:7", "task", 0.0, task_id=7, track="task:7")
+        child = t.open("queued", "task", 0.0, parent=root)
+        assert child.parent_id == root.span_id
+        assert child.task_id == 7
+        assert child.track == "task:7"
+
+    def test_to_dict_omits_unset_fields(self):
+        s = Span(span_id=1, name="x", category="task", start=0.0, end=1.0)
+        d = s.to_dict()
+        assert "parent_id" not in d and "task_id" not in d and "args" not in d
+
+
+class TestTrackerRetention:
+    def test_capacity_drops_oldest_and_counts(self):
+        t = SpanTracker(capacity=2)
+        for i in range(5):
+            t.instant(f"i{i}", "task", float(i))
+        assert len(t) == 2
+        assert t.dropped == 3
+        assert [s.name for s in t.finished] == ["i3", "i4"]
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            SpanTracker(capacity=0)
+
+    def test_queries(self):
+        t = SpanTracker()
+        root = t.open("task:1", "task", 0.0)
+        q = t.open("queued", "task", 0.0, parent=root)
+        t.close(q, 1.0)
+        t.instant("crash", "fault", 2.0)
+        t.close(root, 3.0)
+        assert [s.name for s in t.of_category("fault")] == ["crash"]
+        assert [s.name for s in t.of_name("queued")] == ["queued"]
+        assert t.children_of(root) == [q]
+
+    def test_tree_collects_descendants_in_id_order(self):
+        t = SpanTracker()
+        root = t.open("task:1", "task", 0.0)
+        q = t.open("queued", "task", 0.0, parent=root)
+        t.close(q, 1.0)
+        r = t.open("running", "task", 1.0, parent=root)
+        t.instant("preempted", "task", 2.0, parent=root)
+        t.close(r, 2.0)
+        t.close(root, 3.0)
+        tree = t.tree(root)
+        assert [s.span_id for s in tree] == sorted(s.span_id for s in tree)
+        assert {s.name for s in tree} == {"task:1", "queued", "running", "preempted"}
+
+
+class TestSimTraceMirror:
+    def test_span_marks_interleave_with_kernel_log(self):
+        trace = SimTrace()
+        t = SpanTracker(trace=trace)
+        s = t.open("running", "task", 1.0)
+        trace.record(1.5, "event", "site")
+        t.close(s, 2.0)
+        kinds = [r.kind for r in trace]
+        assert kinds == ["span", "event", "span"]
+        assert trace[0].tag == "open:task:running"
+        assert trace[2].tag == "close:task:running"
+
+
+class TestSimTraceDroppedSurface:
+    def test_str_surfaces_dropped(self):
+        trace = SimTrace(capacity=2)
+        for i in range(5):
+            trace.record(float(i), "event", None)
+        assert "3 dropped" in str(trace)
+        assert "2 records" in str(trace)
+
+    def test_str_quiet_when_nothing_dropped(self):
+        trace = SimTrace()
+        trace.record(0.0, "event", None)
+        assert "dropped" not in str(trace)
+
+    def test_dump_headers_truncation(self):
+        trace = SimTrace(capacity=1)
+        trace.record(0.0, "event", None)
+        trace.record(1.0, "event", None)
+        dump = trace.dump()
+        assert dump.splitlines()[0].startswith("... 1 older record(s) dropped")

@@ -90,3 +90,52 @@ class TestMonitorSite:
         assert queue[-1] == 0
         assert monitor.values("total_yield")[-1] == site.ledger.total_yield
         assert monitor.values("busy_nodes").max() == 1
+
+
+class TestMonitorEventContract:
+    """Regression pins for the monitor's kernel-event contract.
+
+    The observability layer leans on two invariants: samples run at
+    priority 1 of their timestamp (after ordinary events, before any
+    lower-priority ones), and monitor ticks are daemons (a monitor
+    observes a run, it never extends one).  These tests pin both so a
+    kernel ordering change cannot silently skew every recorded series.
+    """
+
+    def test_sampling_order_independent_of_scheduling_order(self):
+        # the ordinary event is scheduled AFTER the monitor exists;
+        # the priority-1 sample must still observe the post-event state
+        sim = Simulator()
+        state = {"x": 0}
+        monitor = PeriodicMonitor(sim, interval=1.0, probes={"x": lambda: state["x"]})
+        sim.schedule(1.0, lambda: state.update(x=3))
+        sim.run()
+        assert monitor.series("x") == [(1.0, 3)]
+
+    def test_lower_priority_events_fire_after_the_sample(self):
+        sim = Simulator()
+        state = {"x": 0}
+        sim.schedule(1.0, lambda: state.update(x=1))  # default priority 0
+        sim.schedule(1.0, lambda: state.update(x=99), priority=2)
+        monitor = PeriodicMonitor(sim, interval=1.0, probes={"x": lambda: state["x"]})
+        sim.run()
+        # sample sees the priority-0 effect but not the priority-2 one
+        assert monitor.series("x") == [(1.0, 1)]
+        assert state["x"] == 99  # ... which still fired, afterwards
+
+    def test_monitor_alone_never_runs_the_clock(self):
+        sim = Simulator()
+        monitor = PeriodicMonitor(sim, interval=1.0, probes={"c": lambda: 1.0})
+        sim.run()
+        assert sim.now == 0.0
+        assert monitor.sample_count == 0
+
+    def test_start_delay_beyond_the_work_takes_no_samples(self):
+        sim = Simulator()
+        sim.schedule(0.5, lambda: None)
+        monitor = PeriodicMonitor(
+            sim, interval=1.0, probes={"c": lambda: 1.0}, start_delay=2.0
+        )
+        sim.run()
+        assert sim.now == 0.5  # the pending first tick is a daemon: dropped
+        assert monitor.sample_count == 0
