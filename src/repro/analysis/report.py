@@ -52,14 +52,18 @@ def run_report(
     ledger: YieldLedger,
     timeline: Optional[SiteTimeline] = None,
     obs=None,
+    resilience=None,
 ) -> dict:
     """Structured summary of one site run.
 
-    Returns a dict with up to four sections: ``accounting`` (ledger
+    Returns a dict with up to five sections: ``accounting`` (ledger
     summary), ``execution`` (timeline stats, when a timeline was
-    attached), ``by_class`` (per-value-class earnings), and
-    ``telemetry`` (the attached observer's full snapshot — metrics,
-    per-run rows, span retention, profile) when *obs* is given.
+    attached), ``by_class`` (per-value-class earnings), ``telemetry``
+    (the attached observer's full snapshot — metrics, per-run rows, span
+    retention, profile) when *obs* is given, and ``resilience`` (the
+    recovery books — failovers attempted/succeeded, value recovered vs
+    lost, per-site breaker open time) when a
+    :class:`~repro.resilience.manager.ResilienceManager` is given.
     """
     report = {
         "accounting": ledger.summary(),
@@ -75,6 +79,8 @@ def run_report(
         }
     if obs is not None:
         report["telemetry"] = obs.snapshot()
+    if resilience is not None:
+        report["resilience"] = resilience.summary()
     return report
 
 
@@ -102,6 +108,25 @@ def format_report(report: dict) -> str:
         )
     if report["by_class"]:
         lines.append(format_table(report["by_class"], title="earnings by value class"))
+    resilience = report.get("resilience")
+    if resilience:
+        lines.append(
+            f"resilience: {resilience['failovers_attempted']:g} failovers "
+            f"attempted / {resilience['failovers_contracted']:g} contracted / "
+            f"{resilience['failovers_completed']:g} completed; "
+            f"value recovered {resilience['value_recovered']:.1f} vs "
+            f"lost to breach {resilience['value_lost_to_breach']:.1f}"
+        )
+        open_time = resilience.get("breaker_open_time") or {}
+        opened = {s: t for s, t in open_time.items() if t > 0}
+        if opened:
+            per_site = ", ".join(
+                f"{site}={t:.1f}" for site, t in sorted(opened.items())
+            )
+            lines.append(
+                f"  breakers: {resilience['breaker_opens']:g} opens; "
+                f"open time {per_site}"
+            )
     telemetry = report.get("telemetry")
     if telemetry and telemetry.get("metrics"):
         metrics = telemetry["metrics"]

@@ -32,6 +32,13 @@ PLOT_SPECS = {
     "fig6": ("load_factor", "yield_rate", "policy", False),
     "fig7": ("threshold", "improvement_pct", "load_factor", False),
     "faults": ("mttf", "total_yield", "policy", True),
+    "resilience": ("mttf", "value_recovered", "policy", True),
+}
+
+#: Experiments whose `--out` JSON has a conventional default path.
+DEFAULT_OUT = {
+    "faults": "results/faults.json",
+    "resilience": "results/resilience.json",
 }
 
 
@@ -74,10 +81,10 @@ def _build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument(
             "--out",
-            default="results/faults.json" if name == "faults" else None,
+            default=DEFAULT_OUT.get(name),
             metavar="PATH",
             help="also write the result rows as JSON"
-            + (" (default: %(default)s)" if name == "faults" else ""),
+            + (" (default: %(default)s)" if name in DEFAULT_OUT else ""),
         )
         p.add_argument(
             "--trace-out",

@@ -25,6 +25,7 @@ GROUP_KEYS: dict[str, tuple[str, ...]] = {
     "fig6": ("policy", "load_factor"),
     "fig7": ("load_factor", "threshold"),
     "faults": ("policy", "mttf"),
+    "resilience": ("policy", "mttf"),
 }
 
 

@@ -1,0 +1,174 @@
+"""Resilience experiment — a chaos sweep over MTTF × failover budget.
+
+Not a paper figure: the paper's market assumes sites honour every
+contract.  This extension injects node churn at each site (the
+``repro.faults`` crash/repair cycles with ``restart="abandon"``, so a
+killed task breaches its contract) and asks how much of the breached
+value the market-level recovery machinery claws back:
+
+* the *disabled* policy is the plain market under the same chaos —
+  breaches settle at the penalty floor and the value is simply lost;
+* each ``budget=N`` policy enables :class:`~repro.resilience` with a
+  per-lineage failover budget of N re-bids, circuit breakers gating
+  negotiation, and health tracking feeding the breaker trip wires.
+
+Every (mttf, policy, seed) point shares the workload trace and the
+per-site fault streams — common random numbers, so the budget axis
+isolates the recovery policy: the same crashes hit the same schedules
+and only the response differs.  Expected shape: recovered value is
+strictly positive once the budget is, grows (weakly) with the budget,
+and no lineage ever completes on two sites.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.experiments.common import FigureResult
+from repro.faults.spec import FaultSpec
+from repro.resilience.config import ResilienceConfig
+from repro.resilience.driver import simulate_resilient_market
+from repro.scheduling.firstreward import FirstReward
+from repro.site.admission import SlackAdmission
+from repro.workload.generator import generate_trace
+from repro.workload.millennium import economy_spec
+
+#: Sweep grid defaults: per-node MTTF (mean task duration is 100) and
+#: failover re-bid budgets per task lineage (0 = breakers/health only).
+MTTFS = (2000.0, 1000.0, 500.0, 250.0)
+BUDGETS = (0, 1, 3)
+MTTR = 100.0
+ALPHA = 0.2
+DISCOUNT_RATE = 0.01
+SLACK_THRESHOLD = 180.0
+LOAD_FACTOR = 1.5
+VALUE_SKEW = 3.0
+DECAY_SKEW = 5.0
+PENALTY_BOUND = 2.0  # bounded penalties: breaches are legal (and priced)
+COOLDOWN = 300.0
+
+#: Resilience-summary columns carried into each result row.
+_RES_KEYS = (
+    "breaches",
+    "failovers_attempted",
+    "failovers_contracted",
+    "failovers_completed",
+    "value_recovered",
+    "value_lost_to_breach",
+    "lineages_exhausted",
+    "double_completions",
+    "breaker_opens",
+)
+
+
+def _one_run(
+    spec,
+    mttf: float,
+    mttr: float,
+    config: ResilienceConfig,
+    seed: int,
+    n_sites: int,
+    processors_per_site: int,
+    slack_threshold: float,
+) -> dict:
+    trace = generate_trace(spec, seed=seed)
+    faults = FaultSpec(mttf=mttf, mttr=mttr, restart="abandon")
+    result = simulate_resilient_market(
+        trace,
+        heuristic_factory=lambda: FirstReward(ALPHA, DISCOUNT_RATE),
+        n_sites=n_sites,
+        processors_per_site=processors_per_site,
+        admission_factory=lambda: SlackAdmission(slack_threshold, DISCOUNT_RATE),
+        config=config,
+        faults=faults,
+        fault_seed=seed,
+    )
+    resilience = result.manager.summary()
+    row = {
+        "total_revenue": result.total_revenue,
+        "accepted": float(result.economy.accepted),
+        "crashes": float(result.fault_stats.crashes),
+        "tasks_killed": float(result.fault_stats.tasks_killed),
+        "breaker_open_time": float(
+            sum(resilience["breaker_open_time"].values())
+        ),
+    }
+    for key in _RES_KEYS:
+        row[key] = float(resilience[key])
+    return row
+
+
+def _mean_rows(rows: Sequence[dict]) -> dict:
+    return {k: float(np.mean([r[k] for r in rows])) for k in rows[0]}
+
+
+def run_resilience(
+    n_jobs: int = 300,
+    seeds: Sequence[int] = (0, 1),
+    mttfs: Sequence[float] = MTTFS,
+    budgets: Sequence[int] = BUDGETS,
+    n_sites: int = 4,
+    processors_per_site: int = 4,
+    mttr: float = MTTR,
+    load_factor: float = LOAD_FACTOR,
+    slack_threshold: float = SLACK_THRESHOLD,
+    cooldown: float = COOLDOWN,
+) -> FigureResult:
+    """Sweep MTTF × failover budget; one row per (policy, mttf).
+
+    The ``disabled`` policy (plain market, no recovery layer) anchors
+    each MTTF; ``budget=N`` policies enable resilience with that
+    failover budget.  Rows average the per-seed runs.
+    """
+    result = FigureResult(
+        figure="resilience",
+        title="Value recovered vs node MTTF under market-level failover",
+        notes=[
+            f"economy mix: value skew {VALUE_SKEW}, decay skew {DECAY_SKEW}, "
+            f"penalty bound {PENALTY_BOUND:g}x, load factor {load_factor:g}, "
+            f"n={n_jobs}, seeds={list(seeds)}",
+            f"market: {n_sites} sites x {processors_per_site} processors, "
+            f"FirstReward(alpha={ALPHA:g}) + slack admission "
+            f"({slack_threshold:g})",
+            f"chaos: mttr={mttr:g}, restart=abandon (crashes breach "
+            f"contracts), common random numbers across the budget axis",
+            f"resilience: breaker cooldown {cooldown:g}, "
+            f"budgets={list(budgets)}; 'disabled' is the plain market",
+        ],
+    )
+    spec = economy_spec(
+        n_jobs=n_jobs,
+        value_skew=VALUE_SKEW,
+        decay_skew=DECAY_SKEW,
+        load_factor=load_factor,
+        processors=n_sites * processors_per_site,
+        penalty_bound=PENALTY_BOUND,
+    )
+    policies = [("disabled", ResilienceConfig())] + [
+        (
+            f"budget={budget}",
+            ResilienceConfig(
+                enabled=True, failover_budget=budget, cooldown=cooldown
+            ),
+        )
+        for budget in budgets
+    ]
+    for mttf in mttfs:
+        for policy, config in policies:
+            runs = [
+                _one_run(
+                    spec,
+                    mttf,
+                    mttr,
+                    config,
+                    seed,
+                    n_sites,
+                    processors_per_site,
+                    slack_threshold,
+                )
+                for seed in seeds
+            ]
+            result.rows.append({"policy": policy, "mttf": mttf, **_mean_rows(runs)})
+    return result

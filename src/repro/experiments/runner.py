@@ -26,6 +26,7 @@ from repro.experiments.fig4 import run_fig4
 from repro.experiments.fig5 import run_fig5
 from repro.experiments.fig6 import run_fig6
 from repro.experiments.fig7 import run_fig7
+from repro.experiments.resilience import run_resilience
 
 
 @dataclass(frozen=True)
@@ -274,6 +275,73 @@ def check_faults(res: FigureResult) -> list[ShapeCheck]:
     return checks
 
 
+def check_resilience(res: FigureResult) -> list[ShapeCheck]:
+    series = res.series("mttf", "value_recovered", "policy")
+    checks = []
+    budgeted = [p for p in series if p.startswith("budget=") and p != "budget=0"]
+    recovered = [y for p in budgeted for _, y in series[p]]
+    checks.append(
+        ShapeCheck(
+            "failover-recovers-value",
+            bool(recovered) and max(recovered) > 0 and min(recovered) >= 0,
+            f"recovered value across budgeted policies: "
+            f"max {max(recovered, default=0.0):.0f}, "
+            f"min {min(recovered, default=0.0):.0f}",
+        )
+    )
+    doubles = max(res.column("double_completions"))
+    checks.append(
+        ShapeCheck(
+            "no-task-completes-twice",
+            doubles == 0,
+            f"max lineages completed on two sites across the grid: {doubles:g}",
+        )
+    )
+    disabled = dict(res.series("mttf", "value_recovered", "policy")["disabled"])
+    checks.append(
+        ShapeCheck(
+            "disabled-recovers-nothing",
+            all(v == 0.0 for v in disabled.values()),
+            "the plain market claws back no breached value",
+        )
+    )
+    if budgeted:
+        by_budget = sorted(budgeted, key=lambda p: int(p.split("=")[1]))
+        lo = sum(y for _, y in series[by_budget[0]])
+        hi = sum(y for _, y in series[by_budget[-1]])
+        checks.append(
+            ShapeCheck(
+                "recovery-grows-with-budget",
+                hi >= lo - 1e-9,
+                f"total recovered: {hi:.0f} at {by_budget[-1]} vs "
+                f"{lo:.0f} at {by_budget[0]}",
+                robust=False,
+            )
+        )
+    revenue = res.series("mttf", "total_revenue", "policy")
+    wins = 0
+    margins = []
+    for mttf, base in revenue["disabled"]:
+        best = max(
+            dict(revenue[p]).get(mttf, float("-inf"))
+            for p in revenue
+            if p != "disabled"
+        )
+        wins += best >= base
+        margins.append(f"mttf {mttf:g}: {best - base:+.0f}")
+    n_levels = len(revenue["disabled"])
+    checks.append(
+        ShapeCheck(
+            "resilience-pays-under-churn",
+            2 * wins >= n_levels,
+            f"best resilient policy out-earns the plain market at "
+            f"{wins}/{n_levels} churn levels ({'; '.join(margins)})",
+            robust=False,
+        )
+    )
+    return checks
+
+
 # ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------
@@ -361,6 +429,22 @@ EXPERIMENTS: dict[str, ExperimentDef] = {
         check=check_faults,
         quick=dict(n_jobs=600, seeds=(0, 1)),
         full=dict(n_jobs=5000, seeds=(0, 1, 2)),
+    ),
+    "resilience": ExperimentDef(
+        name="resilience",
+        description=(
+            "extension: chaos sweep — value recovered vs MTTF under "
+            "circuit breakers and failover re-bidding"
+        ),
+        run=run_resilience,
+        check=check_resilience,
+        quick=dict(
+            n_jobs=300,
+            seeds=(0, 1),
+            mttfs=(1000.0, 500.0, 250.0),
+            budgets=(0, 1, 3),
+        ),
+        full=dict(n_jobs=2000, seeds=(0, 1, 2)),
     ),
 }
 

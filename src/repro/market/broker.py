@@ -121,9 +121,23 @@ class Broker:
     def negotiate(self, bid: TaskBid) -> NegotiationOutcome:
         """Run one sealed-bid round for *bid* and award the winner (if any)."""
         self.negotiations += 1
+        outcome = self._negotiate_over(bid, self.sites)
+        if not outcome.accepted:
+            self.rejections += 1
+        return outcome
+
+    def _negotiate_over(
+        self, bid: TaskBid, sites: Sequence[MarketSite]
+    ) -> NegotiationOutcome:
+        """One sealed-bid round restricted to *sites* (no counter updates).
+
+        Subclasses that filter the candidate set — e.g. the resilience
+        layer's circuit breakers skipping unhealthy sites — negotiate
+        through this helper so selection/award semantics stay identical.
+        """
         quotes: list[ServerBid] = []
         quote_sites: list[MarketSite] = []
-        for site in self.sites:
+        for site in sites:
             quote = site.quote(bid)
             if quote is not None:
                 quotes.append(quote)
@@ -131,7 +145,6 @@ class Broker:
 
         index = self.strategy(bid, quotes)
         if index is None:
-            self.rejections += 1
             return NegotiationOutcome(bid=bid, quotes=quotes, winner=None, contract=None)
 
         winner = quotes[index]
@@ -146,6 +159,7 @@ class Broker:
                 expected_completion=winner.expected_completion,
                 expected_price=min(winner.expected_price, second),
                 expected_slack=winner.expected_slack,
+                expires_at=winner.expires_at,
             )
         contract = quote_sites[index].award(bid, winner)
         return NegotiationOutcome(bid=bid, quotes=quotes, winner=winner, contract=contract)

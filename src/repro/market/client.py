@@ -60,6 +60,11 @@ class BudgetedClient:
         self.contracts: list[Contract] = []
         self.skipped_for_budget = 0
         self.rejected_by_market = 0
+        #: open commitments by contract id, reconciled at settlement
+        self._commitment_of: dict[int, float] = {}
+        self.breach_refunds = 0.0
+        for site in broker.sites:
+            site.settlement_listeners.append(self._on_settlement)
         if interval is not None:
             sim.schedule(interval, self._recharge, tag=f"{client_id}:recharge", daemon=True)
 
@@ -103,8 +108,31 @@ class BudgetedClient:
         commitment = max(0.0, outcome.contract.agreed_price)
         self.available -= commitment
         self.spent_committed += commitment
+        self._commitment_of[outcome.contract.contract_id] = commitment
         self.contracts.append(outcome.contract)
         return outcome
+
+    # ------------------------------------------------------------------
+    def _on_settlement(self, contract: Contract, task) -> None:
+        """Reconcile committed spend when one of our contracts breaches.
+
+        A breached contract settles at the value-function floor, not the
+        agreed price — without this adjustment ``spent_committed`` would
+        keep carrying the full commitment and drift away from actual
+        settlements.  The refund (commitment minus the penalty-adjusted
+        settled price) is returned to the available balance immediately.
+        """
+        commitment = self._commitment_of.get(contract.contract_id)
+        if commitment is None or not contract.settled:
+            return
+        if task.state.value != "cancelled":
+            return  # served contracts reconcile in bulk via reconcile()
+        assert contract.actual_price is not None
+        refund = commitment - contract.actual_price
+        self._commitment_of.pop(contract.contract_id)
+        self.available += refund
+        self.spent_committed -= refund
+        self.breach_refunds += refund
 
     # ------------------------------------------------------------------
     @property
@@ -138,4 +166,5 @@ class BudgetedClient:
             "spent_committed": self.spent_committed,
             "settled_spend": self.settled_spend,
             "available": self.available,
+            "breach_refunds": self.breach_refunds,
         }

@@ -17,10 +17,18 @@ With a :class:`~repro.faults.MessageFaults` model attached
 (``repro.faults`` reliability subsystem), any one-way message — the
 request, each site's quote, the award — can be lost in flight.  The
 client recovers with timeouts and bounded exponential-backoff
-retransmission; a negotiation whose retry budget runs dry simply fails
-(no contract), and a retransmitted award executes against the winner's
-*current* schedule, so each retry deepens the stale-quote exposure the
-latency model already makes observable.
+retransmission; a negotiation whose retry budget runs dry fails (no
+contract) — unless a :class:`~repro.resilience.ResilienceManager` is
+attached, in which case the failure is reported for failover re-bidding
+within the manager's budget.
+
+The stale-quote exposure is bounded by quote TTLs: a site built with
+``quote_ttl`` stamps ``expires_at`` on its quotes and refuses awards
+past it, and the negotiator *revalidates* — re-solicits the winner's
+current quote — instead of landing an award against a schedule that has
+since changed.  Sites without a TTL (the default) keep the original
+open-ended-quote semantics, where each retry deepens the stale-quote
+effect the latency model makes observable.
 """
 
 from __future__ import annotations
@@ -40,6 +48,7 @@ from repro.tasks.contract import Contract
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from repro.faults.messages import MessageFaults
     from repro.obs.instrument import Observability
+    from repro.resilience.manager import ResilienceManager
 
 _negotiation_ids = itertools.count()
 
@@ -84,6 +93,8 @@ class NegotiationRecord:
     contract: Optional[Contract] = None
     lost_messages: int = 0  # messages dropped in flight (any hop)
     retries: int = 0  # retransmissions after a timeout
+    requotes: int = 0  # expired quotes revalidated before the award
+    failure_reason: str = ""  # why no contract formed ("" on success)
 
     @property
     def accepted(self) -> bool:
@@ -111,6 +122,7 @@ class LatentNegotiator:
         strategy: SelectionStrategy = best_yield,
         faults: "Optional[MessageFaults]" = None,
         obs: "Optional[Observability]" = None,
+        resilience: "Optional[ResilienceManager]" = None,
     ) -> None:
         if not sites:
             raise MarketError("negotiator requires at least one site")
@@ -122,6 +134,10 @@ class LatentNegotiator:
         self.strategy = strategy
         self.faults = faults
         self.obs = obs
+        #: optional :class:`~repro.resilience.ResilienceManager`: failed
+        #: negotiations (retry budget exhausted) are reported to it so it
+        #: can re-bid the task within its failover budget
+        self.resilience = resilience
         self.records: list[NegotiationRecord] = []
 
     def negotiate(self, bid: TaskBid) -> NegotiationRecord:
@@ -153,8 +169,11 @@ class LatentNegotiator:
                 self.obs.message_lost()
         return lost
 
-    def _finish(self, record: NegotiationRecord) -> NegotiationRecord:
+    def _finish(
+        self, record: NegotiationRecord, reason: str = ""
+    ) -> NegotiationRecord:
         """Close the negotiation's telemetry span (success or failure)."""
+        record.failure_reason = "" if record.contract is not None else reason
         if self.obs is not None:
             contract = record.contract
             self.obs.negotiation_finished(
@@ -164,6 +183,10 @@ class LatentNegotiator:
                 task_id=contract.task_tid if contract is not None else None,
                 site_id=contract.site_id if contract is not None else None,
             )
+        if record.contract is None and self.resilience is not None:
+            # a dried-up retry budget is recoverable: the manager may
+            # re-bid the task (bounded by its failover budget)
+            self.resilience.note_negotiation_failure(record, self)
         return record
 
     def _run(self, bid: TaskBid, record: NegotiationRecord):
@@ -203,7 +226,7 @@ class LatentNegotiator:
                 # silence: the client cannot tell a lost request from
                 # lost responses — wait out the timeout and retransmit
                 if self.faults is None or attempt >= self.faults.max_retries:
-                    return self._finish(record)
+                    return self._finish(record, reason="retries-exhausted")
                 yield Timeout(self.faults.retry_delay(attempt))
                 self.faults.note_retry()
                 record.retries += 1
@@ -215,7 +238,7 @@ class LatentNegotiator:
 
         index = self.strategy(bid, quotes)
         if index is None:
-            return self._finish(record)
+            return self._finish(record, reason="no-quotes")
 
         # -- phase 2: award (with retransmission) -----------------------
         winner = quotes[index]
@@ -226,6 +249,27 @@ class LatentNegotiator:
                 yield Timeout(self.latency)  # award in flight
 
             if not award_lost:
+                if winner.expired(self.sim.now):
+                    # the quote's TTL lapsed in flight: the site would
+                    # refuse the award, so revalidate against the
+                    # winner's *current* schedule instead of landing a
+                    # promise it computed for a schedule that has moved
+                    record.requotes += 1
+                    if self.obs is not None:
+                        self.obs.quote_expired()
+                    fresh = winner_site.quote(bid)
+                    if fresh is not None:
+                        record.responses.append(
+                            BidResponse(
+                                record.negotiation_id,
+                                winner_site.site_id,
+                                fresh,
+                                self.sim.now,
+                            )
+                        )
+                    if fresh is None:
+                        return self._finish(record, reason="quote-expired")
+                    winner = fresh
                 record.award = Award(
                     record.negotiation_id, winner.site_id, winner, self.sim.now
                 )
@@ -235,7 +279,7 @@ class LatentNegotiator:
             # the site never saw the award; back off and resend (the
             # quote goes staler with every round trip)
             if attempt >= self.faults.max_retries:
-                return self._finish(record)
+                return self._finish(record, reason="retries-exhausted")
             yield Timeout(self.faults.retry_delay(attempt))
             self.faults.note_retry()
             record.retries += 1
@@ -255,6 +299,10 @@ class LatentNegotiator:
     @property
     def total_retries(self) -> int:
         return sum(r.retries for r in self.records)
+
+    @property
+    def total_requotes(self) -> int:
+        return sum(r.requotes for r in self.records)
 
     @property
     def stale_promise_rate(self) -> float:

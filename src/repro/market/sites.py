@@ -38,6 +38,14 @@ class MarketSite:
         The slack policy used to decide which bids are worth answering.
     pricing:
         Pricing policy for quotes (default: bid-value pricing).
+    quote_ttl:
+        Time-to-live stamped on every quote (sim time units).  A quote
+        reflects the candidate schedule at quote time; past its expiry
+        the site refuses the award (``award`` raises) and the broker
+        must re-solicit.  ``None`` (default) keeps quotes open-ended.
+    restart_policy:
+        Forwarded to the engine: the fate of tasks killed by node
+        crashes (see :mod:`repro.faults.restart`).
     """
 
     def __init__(
@@ -52,11 +60,16 @@ class MarketSite:
         discard_expired: bool = False,
         price_board=None,
         obs=None,
+        quote_ttl: Optional[float] = None,
+        restart_policy=None,
     ) -> None:
+        if quote_ttl is not None and not quote_ttl > 0:
+            raise MarketError(f"quote_ttl must be > 0, got {quote_ttl!r}")
         self.sim = sim
         self.site_id = site_id
         self.admission = admission if admission is not None else SlackAdmission()
         self.pricing = pricing if pricing is not None else BidValuePricing()
+        self.quote_ttl = quote_ttl
         self.engine = TaskServiceSite(
             sim,
             processors=processors,
@@ -65,6 +78,7 @@ class MarketSite:
             preemption=preemption,
             discard_expired=discard_expired,
             site_id=site_id,
+            restart_policy=restart_policy,
             obs=obs,
         )
         self.engine.finish_listeners.append(self._on_task_finished)
@@ -73,9 +87,14 @@ class MarketSite:
         #: optional PriceBoard that receives every settlement (§2's
         #: "publish summaries of recent contracts")
         self.price_board = price_board
+        #: callbacks invoked as fn(contract, task) after each settlement —
+        #: the resilience layer re-bids breached tasks through these and
+        #: budgeted clients reconcile committed spend
+        self.settlement_listeners: list = []
         self.revenue = 0.0
         self.quotes_issued = 0
         self.quotes_declined = 0
+        self.expired_awards_refused = 0
 
     # ------------------------------------------------------------------
     # Phase 1: quoting
@@ -100,16 +119,29 @@ class MarketSite:
             expected_completion=decision.expected_completion,
             expected_price=self.pricing.quote(bid, decision),
             expected_slack=decision.slack,
+            expires_at=None if self.quote_ttl is None else self.sim.now + self.quote_ttl,
         )
 
     # ------------------------------------------------------------------
     # Phase 2: award and execution
     # ------------------------------------------------------------------
     def award(self, bid: TaskBid, server_bid: ServerBid) -> Contract:
-        """Form the contract and start executing the task."""
+        """Form the contract and start executing the task.
+
+        An expired quote is refused: its terms were computed against a
+        schedule that has since changed, so the broker must revalidate
+        (re-solicit a fresh quote) rather than hold the site to it.
+        """
         if server_bid.site_id != self.site_id:
             raise MarketError(
                 f"server bid for site {server_bid.site_id!r} awarded to {self.site_id!r}"
+            )
+        if server_bid.expired(self.sim.now):
+            self.expired_awards_refused += 1
+            raise MarketError(
+                f"quote for bid {server_bid.bid_id} expired at "
+                f"{server_bid.expires_at:g} (now {self.sim.now:g}); "
+                "re-solicit before awarding"
             )
         contract = Contract(bid, server_bid, signed_at=self.sim.now)
         task = self._task_for(bid)
@@ -147,6 +179,8 @@ class MarketSite:
         self.revenue += price
         if self.price_board is not None:
             self.price_board.publish(contract)
+        for listener in self.settlement_listeners:
+            listener(contract, task)
 
     # ------------------------------------------------------------------
     @property

@@ -355,6 +355,64 @@ class Observability:
     def message_retry(self) -> None:
         self.registry.counter("market.retries").inc()
 
+    def quote_expired(self) -> None:
+        """A quote's TTL lapsed in flight and the award was revalidated."""
+        self.registry.counter("market.quotes.expired").inc()
+
+    # ------------------------------------------------------------------
+    # Resilience hooks
+    # ------------------------------------------------------------------
+    def breaker_transition(self, site_id: str, old: str, new: str, now: float) -> None:
+        self.registry.counter(f"resilience.breaker.{new}").inc()
+        if new == "open":
+            self.registry.counter("resilience.breaker_opens").inc()
+        if self.spans is not None:
+            self._mark(
+                self.spans.instant(
+                    f"breaker:{new}", "resilience", now,
+                    track=f"breaker:{site_id}", site=site_id, was=old,
+                )
+            )
+
+    def site_health(self, site_id: str, score: float, now: float) -> None:
+        self.registry.time_weighted(f"resilience.health.{site_id}").observe(score, now)
+
+    def failover_started(self, root_bid_id: int, attempt: int, now: float) -> None:
+        self.registry.counter("resilience.failovers").inc()
+        if self.spans is not None:
+            self._mark(
+                self.spans.instant(
+                    "failover", "resilience", now,
+                    track=f"failover:{root_bid_id}", attempt=attempt,
+                )
+            )
+
+    def failover_finished(
+        self, root_bid_id: int, contracted: bool, site_id: Optional[str], now: float
+    ) -> None:
+        self.registry.counter(
+            "resilience.failovers_contracted" if contracted
+            else "resilience.failovers_failed"
+        ).inc()
+        if self.spans is not None:
+            args = {"contracted": contracted}
+            if site_id is not None:
+                args["site"] = site_id
+            self._mark(
+                self.spans.instant(
+                    "failover-done", "resilience", now,
+                    track=f"failover:{root_bid_id}", **args,
+                )
+            )
+
+    def task_recovered(self, value: float, now: float) -> None:
+        """A failover re-run settled by completion: value clawed back."""
+        self.registry.counter("resilience.recovered").inc()
+        self.registry.histogram("resilience.recovered_value").observe(value)
+
+    def hedge_solicited(self) -> None:
+        self.registry.counter("resilience.hedges").inc()
+
     # ------------------------------------------------------------------
     # Fault hooks
     # ------------------------------------------------------------------

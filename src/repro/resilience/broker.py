@@ -1,0 +1,59 @@
+"""A broker whose site list is gated by circuit breakers.
+
+:class:`ResilientBroker` is a drop-in :class:`~repro.market.broker.Broker`
+that consults a :class:`~repro.resilience.manager.ResilienceManager`
+before each sealed-bid round: sites whose breaker is OPEN are not
+solicited, HALF_OPEN sites admit a bounded number of probe contracts,
+and every award is registered with the manager so breaches can fail
+over.  Without a manager (or with resilience disabled) it negotiates
+exactly like the plain broker — same counters, same selection, same
+pricing — which is what keeps the layer bit-inert when off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.market.broker import Broker, NegotiationOutcome
+from repro.resilience.manager import ResilienceManager
+from repro.tasks.bid import TaskBid
+
+
+@dataclass
+class ResilientBroker(Broker):
+    """Breaker-gated sealed-bid broker (see module docstring)."""
+
+    manager: Optional[ResilienceManager] = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.manager is not None:
+            # failover re-bids route back through this broker
+            self.manager.broker = self
+
+    @property
+    def _active(self) -> bool:
+        return self.manager is not None and self.manager.config.enabled
+
+    def negotiate(
+        self, bid: TaskBid, exclude: frozenset = frozenset()
+    ) -> NegotiationOutcome:
+        """One sealed-bid round over the currently eligible sites.
+
+        *exclude* names sites skipped for this round only — the failover
+        path uses it to keep a re-bid away from the site that just
+        failed the task.
+        """
+        if not self._active:
+            return super().negotiate(bid)
+        manager = self.manager
+        assert manager is not None
+        self.negotiations += 1
+        eligible = manager.eligible_sites(self.sites, manager.sim.now, exclude=exclude)
+        outcome = self._negotiate_over(bid, eligible)
+        if outcome.accepted:
+            manager.note_award(bid, outcome)
+        else:
+            self.rejections += 1
+        return outcome

@@ -53,7 +53,9 @@ class TestFigureResult:
 
 class TestRegistry:
     def test_all_figures_registered(self):
-        assert set(EXPERIMENTS) == {"fig3", "fig4", "fig5", "fig6", "fig7", "faults"}
+        assert set(EXPERIMENTS) == {
+            "fig3", "fig4", "fig5", "fig6", "fig7", "faults", "resilience",
+        }
 
     def test_unknown_experiment(self):
         with pytest.raises(ExperimentError):
