@@ -37,6 +37,23 @@ def _pool(n=N_TASKS, seed=0) -> PoolColumns:
     )
 
 
+def _tasks(n, seed=0):
+    from repro.tasks import Task
+    from repro.valuefn import LinearDecayValueFunction
+
+    rng = np.random.default_rng(seed)
+    return [
+        Task(
+            arrival=float(i),
+            runtime=float(rng.exponential(100.0) + 1.0),
+            vf=LinearDecayValueFunction(
+                float(rng.exponential(100.0)), float(rng.exponential(0.35)), None
+            ),
+        )
+        for i in range(n)
+    ]
+
+
 def bench_event_queue_push_pop(benchmark):
     def work():
         q = EventQueue()
@@ -61,6 +78,44 @@ def bench_simulator_event_cascade(benchmark):
         return sim.events_fired
 
     assert benchmark(work) == 10_001
+
+
+def bench_event_queue_head_slot_cascade(benchmark):
+    """Schedule-then-pop-next over a heap of parked far-future events —
+    the pattern the head-slot fast path exists for."""
+
+    def work():
+        q = EventQueue()
+        for i in range(2_000):
+            q.push(Event(1e9 + i, lambda: None))
+        for i in range(10_000):
+            q.push(Event(float(i), lambda: None))
+            q.pop()
+        q.clear()
+
+    benchmark(work)
+
+
+def bench_pool_incremental_churn(benchmark):
+    """add/remove_at cycles against a large standing pool: exercises the
+    amortized append + vectorized tail-shift delete, not a rebuild."""
+    from repro.scheduling import PendingPool
+
+    standing = _tasks(1_000)
+    churners = _tasks(500, seed=1)
+
+    def work():
+        pool = PendingPool()
+        for task in standing:
+            pool.add(task)
+        for task in churners:
+            pool.add(task)
+            pool.columns()
+            pool.remove_at(len(pool) // 2)
+            pool.columns()
+        return len(pool)
+
+    assert benchmark(work) == 1_000
 
 
 def bench_firstprice_scores(benchmark):

@@ -51,6 +51,62 @@ def bench_firstreward_scores_large_pool(benchmark, n):
     assert np.isfinite(scores).all()
 
 
+@pytest.mark.parametrize("pool_size", [200, 1_000])
+def bench_select_cycle_scaling(benchmark, pool_size):
+    """One scheduling decision against a standing pool: columns ->
+    scores -> argmax -> remove -> re-add.  With incremental column
+    maintenance this must stay near-flat in pool size (the scores call
+    is the only O(n) term); a rebuild-per-decision regression shows up
+    as linear pool-maintenance growth."""
+    from repro.scheduling import PendingPool
+    from repro.tasks import Task
+    from repro.valuefn import LinearDecayValueFunction
+
+    rng = np.random.default_rng(0)
+    pool = PendingPool()
+    for i in range(pool_size):
+        pool.add(
+            Task(
+                arrival=float(i),
+                runtime=float(rng.exponential(100.0) + 1.0),
+                vf=LinearDecayValueFunction(
+                    float(rng.exponential(100.0)), float(rng.exponential(0.35)), None
+                ),
+            )
+        )
+    heuristic = FirstReward(0.3, 0.01)
+
+    def work():
+        cols = pool.columns()
+        scores = heuristic.scores(cols, 500.0)
+        task = pool.remove_at(int(np.argmax(scores)))
+        pool.add(task)
+        return len(pool)
+
+    assert benchmark(work) == pool_size
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def bench_experiment_fanout_workers(benchmark, workers):
+    """End-to-end experiment wall time vs worker count.  On multi-core
+    hosts workers=2 should approach half the serial time; the output is
+    byte-identical either way (the determinism contract)."""
+    from repro.experiments.runner import run_experiment
+
+    def work():
+        return run_experiment(
+            "fig6",
+            n_jobs=300,
+            seeds=(0, 1),
+            load_factors=(0.5, 3.0),
+            alphas=(0.0,),
+            workers=workers,
+        )
+
+    result = benchmark.pedantic(work, rounds=1, iterations=1)
+    assert result.rows
+
+
 @pytest.mark.parametrize("n_jobs", [500, 2_000])
 def bench_site_events_per_second(benchmark, n_jobs):
     trace = generate_trace(economy_spec(n_jobs=n_jobs, load_factor=1.0), seed=0)

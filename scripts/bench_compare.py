@@ -1,0 +1,162 @@
+#!/usr/bin/env python
+"""Compare a fresh ``repro bench`` run against a committed baseline.
+
+Usage::
+
+    python scripts/bench_compare.py fresh.json [baseline.json]
+    python scripts/bench_compare.py fresh.json --tolerance 0.4
+    python scripts/bench_compare.py fresh.json --report-only   # never fails
+
+The baseline defaults to ``BENCH_core.json`` at the repo root.  Every
+metric shared by both documents is classified by its name:
+
+* higher is better: ``*_eps`` (throughput), ``speedup_*``
+* lower is better:  ``*_us``, ``*_s`` (latencies / wall times)
+
+A metric regresses when it is worse than the baseline by more than
+``--tolerance`` (a fraction: 0.3 allows 30% degradation).  Benchmarks
+are wall-clock and machine-relative, so the default tolerance is loose;
+tighten it only on dedicated hardware.  Speedup metrics are skipped
+automatically when either machine has fewer CPUs than the worker count —
+a 1-core container cannot regress a 4-worker speedup.
+
+Exit status: 0 when nothing regressed (or ``--report-only``), 1 when at
+least one metric exceeded tolerance, 2 on bad input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import sys
+
+DEFAULT_BASELINE = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "BENCH_core.json"
+)
+
+_HIGHER_IS_BETTER = re.compile(r"(_eps$|^speedup_)")
+_LOWER_IS_BETTER = re.compile(r"(_us(_n\d+)?$|_s$)")
+_SPEEDUP_WORKERS = re.compile(r"^(?:speedup|experiment)_w(\d+)")
+
+
+def _load(path: str) -> dict:
+    try:
+        with open(path) as handle:
+            document = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"bench_compare: cannot read {path}: {exc}")
+    if "results" not in document or "meta" not in document:
+        raise SystemExit(f"bench_compare: {path} is not a bench document")
+    return document
+
+
+def _direction(metric: str) -> int:
+    """+1 when higher is better, -1 when lower is better, 0 to skip."""
+    if _HIGHER_IS_BETTER.search(metric):
+        return 1
+    if _LOWER_IS_BETTER.search(metric):
+        return -1
+    return 0
+
+
+def compare(baseline: dict, fresh: dict, tolerance: float) -> tuple[list[str], int]:
+    """Return (report lines, number of regressions)."""
+    lines: list[str] = []
+    regressions = 0
+    base_cpus = baseline["meta"].get("cpu_count") or 1
+    fresh_cpus = fresh["meta"].get("cpu_count") or 1
+    shared = sorted(set(baseline["results"]) & set(fresh["results"]))
+    if not shared:
+        raise SystemExit("bench_compare: the documents share no metrics")
+    for metric in shared:
+        direction = _direction(metric)
+        if direction == 0:
+            continue
+        old = float(baseline["results"][metric])
+        new = float(fresh["results"][metric])
+        workers = _SPEEDUP_WORKERS.match(metric)
+        if workers and metric.startswith("speedup"):
+            needed = int(workers.group(1))
+            if min(base_cpus, fresh_cpus) < needed:
+                lines.append(
+                    f"  skip  {metric}: needs >= {needed} CPUs "
+                    f"(baseline {base_cpus}, fresh {fresh_cpus})"
+                )
+                continue
+        if old == 0:
+            lines.append(f"  skip  {metric}: baseline is zero")
+            continue
+        # ratio > 1 always means "fresh is worse"
+        ratio = old / new if direction > 0 else new / old
+        delta_pct = (ratio - 1.0) * 100.0
+        verdict = "ok"
+        if ratio > 1.0 + tolerance:
+            verdict = "REGRESSION"
+            regressions += 1
+        elif ratio < 1.0:
+            verdict = "improved"
+        word = "slower" if delta_pct > 0.05 else "faster" if delta_pct < -0.05 else "~same"
+        lines.append(
+            f"  {verdict:<10} {metric}: baseline {old:,.2f} -> fresh {new:,.2f} "
+            f"({delta_pct:+.1f}%, {word})"
+        )
+    return lines, regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("fresh", help="JSON from a fresh `repro bench --out` run")
+    parser.add_argument(
+        "baseline",
+        nargs="?",
+        default=DEFAULT_BASELINE,
+        help="baseline document (default: repo-root BENCH_core.json)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.35,
+        metavar="FRAC",
+        help="allowed fractional degradation per metric (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--report-only",
+        action="store_true",
+        help="print the comparison but always exit 0 (CI smoke mode)",
+    )
+    args = parser.parse_args(argv)
+    if args.tolerance < 0:
+        parser.error("--tolerance must be >= 0")
+
+    baseline = _load(args.baseline)
+    fresh = _load(args.fresh)
+    if baseline["meta"].get("schema") != fresh["meta"].get("schema"):
+        print(
+            f"bench_compare: schema mismatch "
+            f"(baseline {baseline['meta'].get('schema')}, "
+            f"fresh {fresh['meta'].get('schema')})",
+            file=sys.stderr,
+        )
+        return 2
+
+    lines, regressions = compare(baseline, fresh, args.tolerance)
+    print(
+        f"bench_compare: {os.path.basename(args.fresh)} vs "
+        f"{os.path.basename(args.baseline)} (tolerance {args.tolerance:.0%})"
+    )
+    for line in lines:
+        print(line)
+    if regressions:
+        print(f"{regressions} metric(s) regressed beyond tolerance", file=sys.stderr)
+        if args.report_only:
+            print("(report-only mode: exiting 0)", file=sys.stderr)
+            return 0
+        return 1
+    print("no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

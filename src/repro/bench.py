@@ -1,0 +1,304 @@
+"""Core performance benchmarks: the ``repro bench`` subcommand.
+
+Measures the simulator's hot paths end to end and emits a JSON document
+(`BENCH_core.json` at the repo root is the committed baseline) that
+``scripts/bench_compare.py`` diffs against fresh runs to catch
+performance regressions.
+
+What is measured
+----------------
+* ``event_throughput_eps`` — kernel dispatch rate on a bare
+  schedule-one/fire-one cascade (the head-slot fast path's home turf).
+* ``loaded_cascade_eps`` — the same cascade threaded through a heap
+  preloaded with far-future events, so every push/pop would pay O(log n)
+  sifts without the head slot.
+* ``select_cycle_us_n{N}`` — one full scheduling decision against a
+  pool of N tasks: ``columns() -> scores() -> argmax -> remove -> add``.
+  This is the per-decision cost the site engine pays while dispatching.
+* ``pool_churn_us_n{N}`` — pure pool maintenance (add + remove-head with
+  column refreshes), isolating the incremental-column bookkeeping.
+* ``fig6_cell_s`` — one seeded figure cell (trace generation + site
+  simulation), the unit of work the parallel runner fans out.
+* ``experiment_w{N}_s`` / ``speedup_w{N}`` — a multi-seed fig6-style
+  experiment at increasing ``--workers`` counts.  Speedups are only
+  meaningful when ``meta.cpu_count`` exceeds the worker count; the meta
+  block records it so a 1-core container's flat curve reads as what it
+  is.
+
+Methodology: every scalar is the median of ``repeats`` runs measured
+with ``time.perf_counter`` after one warm-up, on freshly built state per
+run (no cross-run caching).  Numbers are wall-clock and machine-relative
+— compare them against a baseline from the *same* machine class, not
+across hardware.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import statistics
+import sys
+import time
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+#: Bump when metric names/semantics change incompatibly.
+BENCH_SCHEMA = 1
+
+#: Pool sizes for the select/churn latency curves.
+POOL_SIZES = (50, 200, 1000)
+
+#: Worker counts for the parallel-speedup curve.
+WORKER_COUNTS = (1, 2, 4, 8)
+
+
+def _median_of(fn: Callable[[], float], repeats: int) -> float:
+    fn()  # warm-up: imports, allocator, branch caches
+    return statistics.median(fn() for _ in range(repeats))
+
+
+def _make_tasks(n: int, seed: int = 0):
+    from repro.workload.generator import generate_trace
+    from repro.workload.millennium import economy_spec
+
+    spec = economy_spec(n_jobs=n, load_factor=1.0)
+    return generate_trace(spec, seed=seed).to_tasks()
+
+
+# ----------------------------------------------------------------------
+# Kernel benchmarks
+# ----------------------------------------------------------------------
+
+def bench_event_cascade(n_events: int = 50_000) -> float:
+    """Events/sec on a schedule-one/fire-one chain (empty heap)."""
+    from repro.sim.kernel import Simulator
+
+    def run() -> float:
+        sim = Simulator()
+
+        def chain(k: int) -> None:
+            if k:
+                sim.schedule(1.0, chain, k - 1)
+
+        sim.schedule(0.0, chain, n_events)
+        start = time.perf_counter()
+        sim.run()
+        return sim.events_fired / (time.perf_counter() - start)
+
+    return run()
+
+
+def bench_loaded_cascade(n_background: int = 5_000, n_chain: int = 20_000) -> float:
+    """Events/sec on a near-term chain over a heap full of far-future events.
+
+    Without the head slot every chained push/pop sifts through the
+    ``n_background`` parked events; with it, both stay O(1).
+    """
+    from repro.sim.kernel import Simulator
+
+    def run() -> float:
+        sim = Simulator()
+        for i in range(n_background):
+            sim.schedule_at(1e9 + i, lambda: None, daemon=True)
+
+        def chain(k: int) -> None:
+            if k:
+                sim.schedule(1.0, chain, k - 1)
+
+        sim.schedule(0.0, chain, n_chain)
+        start = time.perf_counter()
+        sim.run()
+        return (n_chain + 1) / (time.perf_counter() - start)
+
+    return run()
+
+
+# ----------------------------------------------------------------------
+# Pool / select benchmarks
+# ----------------------------------------------------------------------
+
+def bench_select_cycle(pool_size: int, cycles: int = 200) -> float:
+    """µs per scheduling decision: columns -> scores -> argmax -> swap."""
+    from repro.scheduling.firstreward import FirstReward
+    from repro.scheduling.pool import PendingPool
+
+    tasks = _make_tasks(pool_size + cycles)
+
+    def run() -> float:
+        pool = PendingPool()
+        for t in tasks[:pool_size]:
+            pool.add(t)
+        heuristic = FirstReward(0.3, 0.01)
+        spare = list(tasks[pool_size:])
+        start = time.perf_counter()
+        for i in range(cycles):
+            scores = heuristic.scores(pool.columns(), 1000.0 + i)
+            removed = pool.remove_at(int(np.argmax(scores)))
+            pool.add(spare[i])
+            spare[i] = removed
+        return (time.perf_counter() - start) / cycles * 1e6
+
+    return run()
+
+
+def bench_pool_churn(pool_size: int, cycles: int = 2000) -> float:
+    """µs per add+remove pair with column refreshes (pure maintenance)."""
+    from repro.scheduling.pool import PendingPool
+
+    tasks = _make_tasks(pool_size + 1)
+
+    def run() -> float:
+        pool = PendingPool()
+        for t in tasks[:pool_size]:
+            pool.add(t)
+        extra = tasks[pool_size]
+        start = time.perf_counter()
+        for _ in range(cycles):
+            pool.add(extra)
+            pool.columns()
+            extra = pool.remove_at(0)
+            pool.columns()
+        return (time.perf_counter() - start) / cycles * 1e6
+
+    return run()
+
+
+# ----------------------------------------------------------------------
+# End-to-end benchmarks
+# ----------------------------------------------------------------------
+
+def bench_fig6_cell(n_jobs: int = 800) -> float:
+    """Seconds for one figure cell (trace generation + site simulation)."""
+    from repro.experiments.parallel import run_site_cell
+    from repro.workload.millennium import economy_spec
+
+    spec = economy_spec(
+        n_jobs=n_jobs,
+        value_skew=3.0,
+        decay_skew=5.0,
+        load_factor=3.0,
+        processors=16,
+        penalty_bound=None,
+    )
+
+    def run() -> float:
+        start = time.perf_counter()
+        run_site_cell(spec, ("firstreward", {"alpha": 0.0, "discount_rate": 0.01}), 0)
+        return time.perf_counter() - start
+
+    return run()
+
+
+def bench_experiment(workers: int, n_jobs: int = 400, n_seeds: int = 4) -> float:
+    """Seconds for a multi-seed fig6-style sweep at *workers* processes."""
+    from repro.experiments.runner import run_experiment
+
+    start = time.perf_counter()
+    run_experiment(
+        "fig6",
+        n_jobs=n_jobs,
+        seeds=tuple(range(n_seeds)),
+        load_factors=(0.5, 1.5, 3.0),
+        alphas=(0.0, 0.4),
+        workers=workers,
+    )
+    return time.perf_counter() - start
+
+
+# ----------------------------------------------------------------------
+# Suite
+# ----------------------------------------------------------------------
+
+def collect(quick: bool = False, repeats: Optional[int] = None,
+            worker_counts: Sequence[int] = WORKER_COUNTS) -> dict:
+    """Run the whole suite; returns the ``{meta, results}`` document."""
+    if repeats is None:
+        repeats = 1 if quick else 3
+    scale = 0.25 if quick else 1.0
+    results: dict[str, float] = {}
+
+    results["event_throughput_eps"] = _median_of(
+        lambda: bench_event_cascade(int(50_000 * scale)), repeats
+    )
+    results["loaded_cascade_eps"] = _median_of(
+        lambda: bench_loaded_cascade(int(5_000 * scale), int(20_000 * scale)),
+        repeats,
+    )
+    for size in POOL_SIZES:
+        cycles = max(20, int(200 * scale))
+        results[f"select_cycle_us_n{size}"] = _median_of(
+            lambda s=size, c=cycles: bench_select_cycle(s, c), repeats
+        )
+        results[f"pool_churn_us_n{size}"] = _median_of(
+            lambda s=size: bench_pool_churn(s, max(100, int(2000 * scale))), repeats
+        )
+    results["fig6_cell_s"] = _median_of(
+        lambda: bench_fig6_cell(int(800 * scale)), repeats
+    )
+
+    counts = [w for w in worker_counts if quick is False or w <= 2]
+    exp_kwargs = dict(n_jobs=int(400 * scale) or 100, n_seeds=4)
+    for workers in counts:
+        results[f"experiment_w{workers}_s"] = _median_of(
+            lambda w=workers: bench_experiment(w, **exp_kwargs), repeats
+        )
+    base = results.get("experiment_w1_s")
+    if base:
+        for workers in counts:
+            if workers > 1:
+                results[f"speedup_w{workers}"] = (
+                    base / results[f"experiment_w{workers}_s"]
+                )
+
+    meta = {
+        "schema": BENCH_SCHEMA,
+        "quick": quick,
+        "repeats": repeats,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "numpy": np.__version__,
+    }
+    return {"meta": meta, "results": results}
+
+
+def write_bench(document: dict, path: str) -> None:
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(document, handle, sort_keys=True, indent=1)
+        handle.write("\n")
+
+
+def main(quick: bool = False, out: Optional[str] = None) -> int:
+    """CLI entry: run the suite, print a table, optionally write JSON."""
+    from repro.metrics.tables import format_table
+
+    started = time.time()
+    document = collect(quick=quick)
+    rows = [
+        {"metric": key, "value": f"{value:,.2f}"}
+        for key, value in sorted(document["results"].items())
+    ]
+    mode = "quick" if quick else "full"
+    print(
+        format_table(
+            rows,
+            title=f"core benchmarks ({mode}, {document['meta']['cpu_count']} CPUs, "
+            f"{time.time() - started:.0f}s)",
+        )
+    )
+    if document["meta"]["cpu_count"] is not None and document["meta"]["cpu_count"] < 2:
+        print(
+            "  note: single-CPU machine — worker speedups are bounded by 1.0; "
+            "compare them only against baselines from multi-core hosts",
+            file=sys.stderr,
+        )
+    if out:
+        write_bench(document, out)
+        print(f"  wrote {out}")
+    return 0

@@ -79,6 +79,7 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--plot", action="store_true", help="render the figure as an ASCII plot"
         )
+        _add_workers_flag(p)
         p.add_argument(
             "--out",
             default=DEFAULT_OUT.get(name),
@@ -113,6 +114,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     c.add_argument("--n-jobs", type=int, default=1000)
     c.add_argument("--seeds", type=int, nargs="+", default=[0])
+    _add_workers_flag(c)
 
     s = sub.add_parser(
         "sensitivity", help="extension: workload-parameter sensitivity grids"
@@ -122,6 +124,25 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     s.add_argument("--n-jobs", type=int, default=1000)
     s.add_argument("--seeds", type=int, nargs="+", default=[0])
+    _add_workers_flag(s)
+
+    b = sub.add_parser(
+        "bench",
+        help="run the core performance benchmark suite (kernel dispatch, "
+        "select() latency, pool maintenance, cell time, parallel speedup)",
+    )
+    b.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced sizes/repeats for CI smoke runs (~seconds, noisier)",
+    )
+    b.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the benchmark document as JSON (the committed baseline "
+        "lives at BENCH_core.json)",
+    )
 
     pr = sub.add_parser(
         "profile",
@@ -143,6 +164,18 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also print each heuristic's full timer table (dispatch families)",
     )
     return parser
+
+
+def _add_workers_flag(parser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fan independent simulation cells out over N worker processes "
+        "(default: $REPRO_WORKERS or 1 = serial; results are byte-identical "
+        "at any count; incompatible with --trace-out/--metrics-out)",
+    )
 
 
 def _make_obs(args):
@@ -187,6 +220,8 @@ def _run_one(name: str, args) -> int:
     if args.n_jobs is not None:
         overrides["n_jobs"] = args.n_jobs
     obs = _make_obs(args)
+    if args.workers is not None:
+        overrides["workers"] = args.workers
     if args.reps is not None:
         from repro.experiments.replication import run_replicated
 
@@ -369,17 +404,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
     if args.command == "profile":
         return _run_profile(args)
+    if args.command == "bench":
+        from repro.bench import main as bench_main
+
+        return bench_main(quick=args.quick, out=args.out)
     if args.command == "consolidation":
         from repro.experiments.consolidation import run_consolidation
 
-        result = run_consolidation(n_jobs=args.n_jobs, seeds=tuple(args.seeds))
+        result = run_consolidation(
+            n_jobs=args.n_jobs, seeds=tuple(args.seeds), workers=args.workers
+        )
         print(result.table())
         return 0
     if args.command == "sensitivity":
         from repro.experiments.sensitivity import run_load_horizon_grid, run_skew_grid
 
         run = run_skew_grid if args.grid == "skews" else run_load_horizon_grid
-        result = run(n_jobs=args.n_jobs, seeds=tuple(args.seeds))
+        result = run(
+            n_jobs=args.n_jobs, seeds=tuple(args.seeds), workers=args.workers
+        )
         print(result.table())
         return 0
     names = list(EXPERIMENTS) if args.command == "all" else [args.command]

@@ -10,8 +10,6 @@ import numpy as np
 from repro.errors import ExperimentError
 from repro.metrics.tables import format_table
 from repro.scheduling.base import SchedulingHeuristic
-from repro.site.driver import simulate_site
-from repro.workload.generator import generate_trace
 from repro.workload.spec import WorkloadSpec
 
 
@@ -64,19 +62,17 @@ def mean_yield(
     """Average a site metric over per-seed traces of *spec*.
 
     ``heuristic_factory`` is called per run so heuristics never share
-    mutable state across replications.
+    mutable state across replications.  Each seed runs the same
+    :func:`repro.experiments.parallel.simulate_cell_metric` core the
+    worker-process cells use, so this serial helper and the ``--workers``
+    fan-out are numerically one code path.
     """
+    from repro.experiments.parallel import simulate_cell_metric
+
     if not seeds:
         raise ExperimentError("at least one seed is required")
-    values = []
-    for seed in seeds:
-        trace = generate_trace(spec, seed=seed)
-        result = simulate_site(
-            trace,
-            heuristic_factory(),
-            processors=spec.processors,
-            keep_records=False,
-            **site_kwargs,
-        )
-        values.append(getattr(result, metric))
+    values = [
+        simulate_cell_metric(spec, heuristic_factory(), seed, metric, **site_kwargs)
+        for seed in seeds
+    ]
     return float(np.mean(values))

@@ -22,11 +22,12 @@ and mean delay per organization.
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.experiments.common import FigureResult
+from repro.experiments.parallel import CellExecutor
 from repro.market.broker import Broker
 from repro.market.economy import MarketEconomy
 from repro.market.sites import MarketSite
@@ -108,12 +109,29 @@ def _market(trace: Trace, k: int, processors: int) -> dict:
     }
 
 
+_ORGANIZATIONS = ("private", "consolidated", "market")
+
+
+def _org_cell(organization: str, spec, seed: int, k: int, processors: int) -> dict:
+    """One (organization, load, seed) cell — regenerates the seed's trace
+    locally so the cell stays a pure function of picklable inputs (the
+    trace is deterministic in (spec, seed), so each organization sees the
+    same stream it did when the trace was generated once and shared)."""
+    trace = generate_trace(spec, seed=seed)
+    if organization == "private":
+        return _private(trace, k, processors)
+    if organization == "consolidated":
+        return _consolidated(trace, processors)
+    return _market(trace, k, processors)
+
+
 def run_consolidation(
     n_jobs: int = 2000,
     seeds: Sequence[int] = (0,),
     k: int = 4,
     processors: int = 16,
     load_factors: Sequence[float] = (0.7, 1.0, 1.5),
+    workers: Optional[int] = None,
 ) -> FigureResult:
     """Compare the three organizations across load factors."""
     result = FigureResult(
@@ -127,24 +145,31 @@ def run_consolidation(
             "(not part of its evaluation)",
         ],
     )
-    for load in load_factors:
-        spec = economy_spec(
-            n_jobs=n_jobs, load_factor=load, processors=processors,
-            penalty_bound=0.0,
-        )
-        accum: dict[str, list[dict]] = {"private": [], "consolidated": [], "market": []}
-        for seed in seeds:
-            trace = generate_trace(spec, seed=seed)
-            accum["private"].append(_private(trace, k, processors))
-            accum["consolidated"].append(_consolidated(trace, processors))
-            accum["market"].append(_market(trace, k, processors))
-        for organization, samples in accum.items():
-            result.rows.append(
-                {
-                    "load_factor": load,
-                    "organization": organization,
-                    "total_yield": float(np.mean([s["total_yield"] for s in samples])),
-                    "mean_delay": float(np.mean([s["mean_delay"] for s in samples])),
-                }
+    with CellExecutor(workers) as ex:
+        cells = {}
+        for load in load_factors:
+            spec = economy_spec(
+                n_jobs=n_jobs, load_factor=load, processors=processors,
+                penalty_bound=0.0,
             )
+            for seed in seeds:
+                for organization in _ORGANIZATIONS:
+                    cells[load, seed, organization] = ex.submit(
+                        _org_cell, organization, spec, seed, k, processors
+                    )
+        for load in load_factors:
+            for organization in _ORGANIZATIONS:
+                samples = [cells[load, seed, organization].result() for seed in seeds]
+                result.rows.append(
+                    {
+                        "load_factor": load,
+                        "organization": organization,
+                        "total_yield": float(
+                            np.mean([s["total_yield"] for s in samples])
+                        ),
+                        "mean_delay": float(
+                            np.mean([s["mean_delay"] for s in samples])
+                        ),
+                    }
+                )
     return result

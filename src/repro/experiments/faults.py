@@ -28,15 +28,17 @@ risk-oblivious one at every sampled MTTF.
 
 from __future__ import annotations
 
-from typing import Sequence
-
-import numpy as np
+from typing import Optional, Sequence
 
 from repro.experiments.common import FigureResult
+from repro.experiments.parallel import (
+    CellExecutor,
+    Descriptor,
+    build_admission,
+    build_heuristic,
+    mean_rows_of,
+)
 from repro.faults.spec import FaultSpec
-from repro.scheduling.firstprice import FirstPrice
-from repro.scheduling.firstreward import FirstReward
-from repro.site.admission import SlackAdmission
 from repro.site.driver import simulate_site
 from repro.workload.generator import generate_trace
 from repro.workload.millennium import economy_spec
@@ -60,17 +62,18 @@ _STAT_KEYS = ("crashes", "tasks_killed", "restarts", "work_lost", "downtime")
 
 def _one_run(
     spec,
-    heuristic,
-    admission,
+    heuristic: Descriptor,
+    admission: Optional[Descriptor],
     faults: FaultSpec,
     seed: int,
 ) -> dict:
+    """One (policy, mttf, seed) cell — picklable for worker fan-out."""
     trace = generate_trace(spec, seed=seed)
     result = simulate_site(
         trace,
-        heuristic,
+        build_heuristic(heuristic),
         processors=spec.processors,
-        admission=admission,
+        admission=build_admission(admission),
         keep_records=False,
         faults=faults,
         fault_seed=seed,
@@ -85,10 +88,6 @@ def _one_run(
     return row
 
 
-def _mean_rows(rows: Sequence[dict]) -> dict:
-    return {k: float(np.mean([r[k] for r in rows])) for k in rows[0]}
-
-
 def run_faults(
     n_jobs: int = 600,
     seeds: Sequence[int] = (0, 1),
@@ -100,6 +99,7 @@ def run_faults(
     load_factor: float = LOAD_FACTOR,
     slack_threshold: float = SLACK_THRESHOLD,
     slack_inflation: float = SLACK_INFLATION,
+    workers: Optional[int] = None,
 ) -> FigureResult:
     """Sweep MTTF; one row per (policy, mttf) averaged over *seeds*."""
     result = FigureResult(
@@ -125,27 +125,41 @@ def run_faults(
         processors=processors,
         penalty_bound=None,
     )
-    for mttf in mttfs:
-        aware = FaultSpec(
-            mttf=mttf,
-            mttr=mttr,
-            restart=restart,
-            survival_discount=True,
-            slack_inflation=slack_inflation,
-        )
-        oblivious = FaultSpec(mttf=mttf, mttr=mttr, restart=restart)
-        for policy, faults, make_heuristic, make_admission in (
-            (
-                "firstreward-ac",
-                aware,
-                lambda: FirstReward(alpha, DISCOUNT_RATE),
-                lambda: SlackAdmission(slack_threshold, DISCOUNT_RATE),
-            ),
-            ("firstprice-noac", oblivious, FirstPrice, lambda: None),
-        ):
-            runs = [
-                _one_run(spec, make_heuristic(), make_admission(), faults, seed)
-                for seed in seeds
-            ]
-            result.rows.append({"policy": policy, "mttf": mttf, **_mean_rows(runs)})
+    with CellExecutor(workers) as ex:
+        cells = {}
+        for mttf in mttfs:
+            aware = FaultSpec(
+                mttf=mttf,
+                mttr=mttr,
+                restart=restart,
+                survival_discount=True,
+                slack_inflation=slack_inflation,
+            )
+            oblivious = FaultSpec(mttf=mttf, mttr=mttr, restart=restart)
+            for policy, faults, heuristic, admission in (
+                (
+                    "firstreward-ac",
+                    aware,
+                    ("firstreward", {"alpha": alpha, "discount_rate": DISCOUNT_RATE}),
+                    (
+                        "slack",
+                        {
+                            "threshold": slack_threshold,
+                            "discount_rate": DISCOUNT_RATE,
+                        },
+                    ),
+                ),
+                ("firstprice-noac", oblivious, ("firstprice", {}), None),
+            ):
+                cells[mttf, policy] = mean_rows_of(
+                    [
+                        ex.submit(_one_run, spec, heuristic, admission, faults, seed)
+                        for seed in seeds
+                    ]
+                )
+        for mttf in mttfs:
+            for policy in ("firstreward-ac", "firstprice-noac"):
+                result.rows.append(
+                    {"policy": policy, "mttf": mttf, **cells[mttf, policy].result()}
+                )
     return result

@@ -17,12 +17,11 @@ the fraction.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
-from repro.experiments.common import FigureResult, mean_yield
+from repro.experiments.common import FigureResult
+from repro.experiments.parallel import CellExecutor, submit_mean_yield
 from repro.metrics.compare import improvement_percent
-from repro.scheduling.firstprice import FirstPrice
-from repro.scheduling.presentvalue import PresentValue
 from repro.workload.millennium import millennium_spec
 
 DISCOUNT_PERCENTS = (0.001, 0.01, 0.1, 0.3, 1.0, 3.0, 10.0)
@@ -50,11 +49,13 @@ def run_fig3(
     discount_percents: Sequence[float] = DISCOUNT_PERCENTS,
     value_skews: Sequence[float] = VALUE_SKEWS,
     processors: int = 16,
+    workers: Optional[int] = None,
 ) -> FigureResult:
     """Regenerate Figure 3's series.
 
     Rows: one per (value_skew, discount_pct) with the PV yield, the
-    FirstPrice baseline yield, and the percent improvement.
+    FirstPrice baseline yield, and the percent improvement.  Cells fan
+    out over *workers* processes; the rows are identical at any count.
     """
     result = FigureResult(
         figure="fig3",
@@ -65,21 +66,32 @@ def run_fig3(
             "x-axis is the discount rate in percent, as in the paper",
         ],
     )
-    for skew in value_skews:
-        spec = fig3_spec(skew, n_jobs=n_jobs, processors=processors)
-        baseline = mean_yield(spec, FirstPrice, seeds, preemption=True)
-        for pct in discount_percents:
-            rate = pct / 100.0
-            pv = mean_yield(
-                spec, lambda r=rate: PresentValue(r), seeds, preemption=True
+    with CellExecutor(workers) as ex:
+        cells = {}
+        for skew in value_skews:
+            spec = fig3_spec(skew, n_jobs=n_jobs, processors=processors)
+            cells[skew] = submit_mean_yield(
+                ex, spec, ("firstprice", {}), seeds, preemption=True
             )
-            result.rows.append(
-                {
-                    "value_skew": skew,
-                    "discount_pct": pct,
-                    "pv_yield": pv,
-                    "firstprice_yield": baseline,
-                    "improvement_pct": improvement_percent(pv, baseline),
-                }
-            )
+            for pct in discount_percents:
+                cells[skew, pct] = submit_mean_yield(
+                    ex,
+                    spec,
+                    ("pv", {"discount_rate": pct / 100.0}),
+                    seeds,
+                    preemption=True,
+                )
+        for skew in value_skews:
+            baseline = cells[skew].result()
+            for pct in discount_percents:
+                pv = cells[skew, pct].result()
+                result.rows.append(
+                    {
+                        "value_skew": skew,
+                        "discount_pct": pct,
+                        "pv_yield": pv,
+                        "firstprice_yield": baseline,
+                        "improvement_pct": improvement_percent(pv, baseline),
+                    }
+                )
     return result

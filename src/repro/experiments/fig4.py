@@ -15,10 +15,9 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from repro.experiments.common import FigureResult, mean_yield
+from repro.experiments.common import FigureResult
+from repro.experiments.parallel import CellExecutor, submit_mean_yield
 from repro.metrics.compare import improvement_percent
-from repro.scheduling.firstprice import FirstPrice
-from repro.scheduling.firstreward import FirstReward
 from repro.workload.millennium import economy_spec
 
 ALPHAS = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9)
@@ -53,6 +52,7 @@ def sweep_alpha(
     alphas: Sequence[float],
     decay_skews: Sequence[float],
     processors: int,
+    workers: Optional[int] = None,
 ) -> FigureResult:
     """Shared α-sweep used by Figures 4 and 5 (they differ only in bounds)."""
     result = FigureResult(
@@ -65,22 +65,33 @@ def sweep_alpha(
             f"n={n_jobs}, seeds={list(seeds)}",
         ],
     )
-    for dskew in decay_skews:
-        spec = fig45_spec(dskew, penalty_bound, n_jobs=n_jobs, processors=processors)
-        baseline = mean_yield(spec, FirstPrice, seeds)
-        for alpha in alphas:
-            fr = mean_yield(
-                spec, lambda a=alpha: FirstReward(a, DISCOUNT_RATE), seeds
+    with CellExecutor(workers) as ex:
+        cells = {}
+        for dskew in decay_skews:
+            spec = fig45_spec(
+                dskew, penalty_bound, n_jobs=n_jobs, processors=processors
             )
-            result.rows.append(
-                {
-                    "decay_skew": dskew,
-                    "alpha": alpha,
-                    "firstreward_yield": fr,
-                    "firstprice_yield": baseline,
-                    "improvement_pct": improvement_percent(fr, baseline),
-                }
-            )
+            cells[dskew] = submit_mean_yield(ex, spec, ("firstprice", {}), seeds)
+            for alpha in alphas:
+                cells[dskew, alpha] = submit_mean_yield(
+                    ex,
+                    spec,
+                    ("firstreward", {"alpha": alpha, "discount_rate": DISCOUNT_RATE}),
+                    seeds,
+                )
+        for dskew in decay_skews:
+            baseline = cells[dskew].result()
+            for alpha in alphas:
+                fr = cells[dskew, alpha].result()
+                result.rows.append(
+                    {
+                        "decay_skew": dskew,
+                        "alpha": alpha,
+                        "firstreward_yield": fr,
+                        "firstprice_yield": baseline,
+                        "improvement_pct": improvement_percent(fr, baseline),
+                    }
+                )
     return result
 
 
@@ -90,6 +101,7 @@ def run_fig4(
     alphas: Sequence[float] = ALPHAS,
     decay_skews: Sequence[float] = DECAY_SKEWS,
     processors: int = 16,
+    workers: Optional[int] = None,
 ) -> FigureResult:
     """Regenerate Figure 4 (bounded penalties)."""
     return sweep_alpha(
@@ -101,4 +113,5 @@ def run_fig4(
         alphas=alphas,
         decay_skews=decay_skews,
         processors=processors,
+        workers=workers,
     )

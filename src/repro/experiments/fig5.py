@@ -9,7 +9,7 @@ unbounded penalties."
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.experiments.common import FigureResult
 from repro.experiments.fig4 import ALPHAS, DECAY_SKEWS, sweep_alpha
@@ -21,6 +21,7 @@ def run_fig5(
     alphas: Sequence[float] = ALPHAS,
     decay_skews: Sequence[float] = DECAY_SKEWS,
     processors: int = 16,
+    workers: Optional[int] = None,
 ) -> FigureResult:
     """Regenerate Figure 5 (unbounded penalties)."""
     return sweep_alpha(
@@ -32,4 +33,5 @@ def run_fig5(
         alphas=alphas,
         decay_skews=decay_skews,
         processors=processors,
+        workers=workers,
     )

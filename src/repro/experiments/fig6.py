@@ -11,12 +11,10 @@ plus a FirstPrice-without-admission-control line.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
-from repro.experiments.common import FigureResult, mean_yield
-from repro.scheduling.firstprice import FirstPrice
-from repro.scheduling.firstreward import FirstReward
-from repro.site.admission import SlackAdmission
+from repro.experiments.common import FigureResult
+from repro.experiments.parallel import CellExecutor, submit_mean_yield
 from repro.workload.millennium import economy_spec
 
 LOAD_FACTORS = (0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 4.5)
@@ -45,6 +43,7 @@ def run_fig6(
     alphas: Sequence[float] = ALPHAS,
     processors: int = 16,
     slack_threshold: float = SLACK_THRESHOLD,
+    workers: Optional[int] = None,
 ) -> FigureResult:
     """Regenerate Figure 6's series.
 
@@ -64,21 +63,37 @@ def run_fig6(
             "(the paper's absolute axis depends on its undocumented currency unit)",
         ],
     )
-    for load in load_factors:
-        spec = fig67_spec(load, n_jobs=n_jobs, processors=processors)
-        for alpha in alphas:
-            rate = mean_yield(
-                spec,
-                lambda a=alpha: FirstReward(a, DISCOUNT_RATE),
-                seeds,
-                metric="yield_rate",
-                admission=SlackAdmission(slack_threshold, DISCOUNT_RATE),
+    admission = ("slack", {"threshold": slack_threshold, "discount_rate": DISCOUNT_RATE})
+    with CellExecutor(workers) as ex:
+        cells = {}
+        for load in load_factors:
+            spec = fig67_spec(load, n_jobs=n_jobs, processors=processors)
+            for alpha in alphas:
+                cells[load, alpha] = submit_mean_yield(
+                    ex,
+                    spec,
+                    ("firstreward", {"alpha": alpha, "discount_rate": DISCOUNT_RATE}),
+                    seeds,
+                    metric="yield_rate",
+                    admission=admission,
+                )
+            cells[load] = submit_mean_yield(
+                ex, spec, ("firstprice", {}), seeds, metric="yield_rate"
             )
+        for load in load_factors:
+            for alpha in alphas:
+                result.rows.append(
+                    {
+                        "policy": f"alpha={alpha:g}",
+                        "load_factor": load,
+                        "yield_rate": cells[load, alpha].result(),
+                    }
+                )
             result.rows.append(
-                {"policy": f"alpha={alpha:g}", "load_factor": load, "yield_rate": rate}
+                {
+                    "policy": "firstprice-noac",
+                    "load_factor": load,
+                    "yield_rate": cells[load].result(),
+                }
             )
-        no_ac = mean_yield(spec, FirstPrice, seeds, metric="yield_rate")
-        result.rows.append(
-            {"policy": "firstprice-noac", "load_factor": load, "yield_rate": no_ac}
-        )
     return result

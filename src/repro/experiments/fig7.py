@@ -12,13 +12,12 @@ the sweep isolates the admission policy itself.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
-from repro.experiments.common import FigureResult, mean_yield
+from repro.experiments.common import FigureResult
 from repro.experiments.fig6 import DISCOUNT_RATE, fig67_spec
+from repro.experiments.parallel import CellExecutor, submit_mean_yield
 from repro.metrics.compare import improvement_percent
-from repro.scheduling.firstreward import FirstReward
-from repro.site.admission import SlackAdmission
 
 LOAD_FACTORS = (0.5, 0.67, 0.89, 1.33, 2.0)
 THRESHOLDS = (-200.0, -100.0, 0.0, 100.0, 200.0, 300.0, 400.0, 500.0, 600.0, 700.0)
@@ -31,6 +30,7 @@ def run_fig7(
     load_factors: Sequence[float] = LOAD_FACTORS,
     thresholds: Sequence[float] = THRESHOLDS,
     processors: int = 16,
+    workers: Optional[int] = None,
 ) -> FigureResult:
     """Regenerate Figure 7's series.
 
@@ -47,29 +47,37 @@ def run_fig7(
             "penalties); improvement is relative to |baseline|",
         ],
     )
-    for load in load_factors:
-        spec = fig67_spec(load, n_jobs=n_jobs, processors=processors)
-        baseline = mean_yield(
-            spec,
-            lambda: FirstReward(ALPHA, DISCOUNT_RATE),
-            seeds,
-            metric="yield_rate",
-        )
-        for threshold in thresholds:
-            rate = mean_yield(
-                spec,
-                lambda: FirstReward(ALPHA, DISCOUNT_RATE),
-                seeds,
-                metric="yield_rate",
-                admission=SlackAdmission(threshold, DISCOUNT_RATE),
+    heuristic = ("firstreward", {"alpha": ALPHA, "discount_rate": DISCOUNT_RATE})
+    with CellExecutor(workers) as ex:
+        cells = {}
+        for load in load_factors:
+            spec = fig67_spec(load, n_jobs=n_jobs, processors=processors)
+            cells[load] = submit_mean_yield(
+                ex, spec, heuristic, seeds, metric="yield_rate"
             )
-            result.rows.append(
-                {
-                    "load_factor": load,
-                    "threshold": threshold,
-                    "yield_rate": rate,
-                    "noac_yield_rate": baseline,
-                    "improvement_pct": improvement_percent(rate, baseline),
-                }
-            )
+            for threshold in thresholds:
+                cells[load, threshold] = submit_mean_yield(
+                    ex,
+                    spec,
+                    heuristic,
+                    seeds,
+                    metric="yield_rate",
+                    admission=(
+                        "slack",
+                        {"threshold": threshold, "discount_rate": DISCOUNT_RATE},
+                    ),
+                )
+        for load in load_factors:
+            baseline = cells[load].result()
+            for threshold in thresholds:
+                rate = cells[load, threshold].result()
+                result.rows.append(
+                    {
+                        "load_factor": load,
+                        "threshold": threshold,
+                        "yield_rate": rate,
+                        "noac_yield_rate": baseline,
+                        "improvement_pct": improvement_percent(rate, baseline),
+                    }
+                )
     return result

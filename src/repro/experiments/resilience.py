@@ -22,11 +22,10 @@ and no lineage ever completes on two sites.
 
 from __future__ import annotations
 
-from typing import Sequence
-
-import numpy as np
+from typing import Optional, Sequence
 
 from repro.experiments.common import FigureResult
+from repro.experiments.parallel import CellExecutor, mean_rows_of
 from repro.faults.spec import FaultSpec
 from repro.resilience.config import ResilienceConfig
 from repro.resilience.driver import simulate_resilient_market
@@ -100,10 +99,6 @@ def _one_run(
     return row
 
 
-def _mean_rows(rows: Sequence[dict]) -> dict:
-    return {k: float(np.mean([r[k] for r in rows])) for k in rows[0]}
-
-
 def run_resilience(
     n_jobs: int = 300,
     seeds: Sequence[int] = (0, 1),
@@ -115,6 +110,7 @@ def run_resilience(
     load_factor: float = LOAD_FACTOR,
     slack_threshold: float = SLACK_THRESHOLD,
     cooldown: float = COOLDOWN,
+    workers: Optional[int] = None,
 ) -> FigureResult:
     """Sweep MTTF × failover budget; one row per (policy, mttf).
 
@@ -155,20 +151,29 @@ def run_resilience(
         )
         for budget in budgets
     ]
-    for mttf in mttfs:
-        for policy, config in policies:
-            runs = [
-                _one_run(
-                    spec,
-                    mttf,
-                    mttr,
-                    config,
-                    seed,
-                    n_sites,
-                    processors_per_site,
-                    slack_threshold,
+    with CellExecutor(workers) as ex:
+        cells = {}
+        for mttf in mttfs:
+            for policy, config in policies:
+                cells[mttf, policy] = mean_rows_of(
+                    [
+                        ex.submit(
+                            _one_run,
+                            spec,
+                            mttf,
+                            mttr,
+                            config,
+                            seed,
+                            n_sites,
+                            processors_per_site,
+                            slack_threshold,
+                        )
+                        for seed in seeds
+                    ]
                 )
-                for seed in seeds
-            ]
-            result.rows.append({"policy": policy, "mttf": mttf, **_mean_rows(runs)})
+        for mttf in mttfs:
+            for policy, _ in policies:
+                result.rows.append(
+                    {"policy": policy, "mttf": mttf, **cells[mttf, policy].result()}
+                )
     return result

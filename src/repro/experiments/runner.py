@@ -453,6 +453,7 @@ def run_experiment(
     name: str,
     scale: str = "quick",
     obs: "Optional[Observability]" = None,
+    workers: Optional[int] = None,
     **overrides,
 ) -> FigureResult:
     """Run a registered experiment at ``quick`` or ``full`` scale.
@@ -462,6 +463,12 @@ def run_experiment(
     one observed run (spans, metrics, profiling), and the observer's
     per-run summary rows plus span/drop bookkeeping are folded into the
     result's notes so exported JSON carries its own telemetry summary.
+
+    *workers* fans the experiment's independent (config, seed) cells out
+    over that many processes (``None`` → ``$REPRO_WORKERS`` → serial);
+    the result is byte-identical at any worker count.  Combining
+    ``workers > 1`` with *obs* raises: spans recorded inside worker
+    processes would never reach the parent's exporters.
     """
     try:
         definition = EXPERIMENTS[name]
@@ -473,6 +480,8 @@ def run_experiment(
         raise ExperimentError(f"scale must be 'quick' or 'full', got {scale!r}")
     kwargs = dict(definition.quick if scale == "quick" else definition.full)
     kwargs.update(overrides)
+    if workers is not None:
+        kwargs["workers"] = workers
     if obs is None:
         return definition.run(**kwargs)
 

@@ -11,16 +11,17 @@ skews).
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
-from repro.experiments.common import FigureResult, mean_yield
+from repro.experiments.common import FigureResult
+from repro.experiments.parallel import CellExecutor, submit_mean_yield
 from repro.metrics.compare import improvement_percent
-from repro.scheduling.firstprice import FirstPrice
-from repro.scheduling.firstreward import FirstReward
 from repro.workload.millennium import economy_spec
 
 ALPHA = 0.3
 DISCOUNT_RATE = 0.01
+
+_FIRSTREWARD = ("firstreward", {"alpha": ALPHA, "discount_rate": DISCOUNT_RATE})
 
 
 def run_skew_grid(
@@ -30,6 +31,7 @@ def run_skew_grid(
     decay_skews: Sequence[float] = (1.0, 3.0, 5.0, 7.0),
     load_factor: float = 0.9,
     processors: int = 16,
+    workers: Optional[int] = None,
 ) -> FigureResult:
     """FirstReward improvement across the (value skew × decay skew) grid."""
     result = FigureResult(
@@ -38,24 +40,33 @@ def run_skew_grid(
         "value skew x decay skew (unbounded penalties)",
         notes=[f"economy mix, load {load_factor}, n={n_jobs}, seeds={list(seeds)}"],
     )
-    for vskew in value_skews:
-        for dskew in decay_skews:
-            spec = economy_spec(
-                n_jobs=n_jobs,
-                value_skew=vskew,
-                decay_skew=dskew,
-                load_factor=load_factor,
-                processors=processors,
-            )
-            baseline = mean_yield(spec, FirstPrice, seeds)
-            fr = mean_yield(spec, lambda: FirstReward(ALPHA, DISCOUNT_RATE), seeds)
-            result.rows.append(
-                {
-                    "value_skew": vskew,
-                    "decay_skew": dskew,
-                    "improvement_pct": improvement_percent(fr, baseline),
-                }
-            )
+    with CellExecutor(workers) as ex:
+        cells = {}
+        for vskew in value_skews:
+            for dskew in decay_skews:
+                spec = economy_spec(
+                    n_jobs=n_jobs,
+                    value_skew=vskew,
+                    decay_skew=dskew,
+                    load_factor=load_factor,
+                    processors=processors,
+                )
+                cells[vskew, dskew] = (
+                    submit_mean_yield(ex, spec, ("firstprice", {}), seeds),
+                    submit_mean_yield(ex, spec, _FIRSTREWARD, seeds),
+                )
+        for vskew in value_skews:
+            for dskew in decay_skews:
+                baseline_h, fr_h = cells[vskew, dskew]
+                result.rows.append(
+                    {
+                        "value_skew": vskew,
+                        "decay_skew": dskew,
+                        "improvement_pct": improvement_percent(
+                            fr_h.result(), baseline_h.result()
+                        ),
+                    }
+                )
     return result
 
 
@@ -65,6 +76,7 @@ def run_load_horizon_grid(
     load_factors: Sequence[float] = (0.6, 0.8, 0.9, 1.0),
     horizons: Sequence[float] = (1.0, 2.0, 4.0, 8.0),
     processors: int = 16,
+    workers: Optional[int] = None,
 ) -> FigureResult:
     """FirstReward improvement across the (load × decay-horizon) grid.
 
@@ -79,23 +91,32 @@ def run_load_horizon_grid(
             f"economy mix, value skew 2, decay skew 5, n={n_jobs}, seeds={list(seeds)}"
         ],
     )
-    for load in load_factors:
-        for horizon in horizons:
-            spec = economy_spec(
-                n_jobs=n_jobs,
-                value_skew=2.0,
-                decay_skew=5.0,
-                load_factor=load,
-                processors=processors,
-                decay_horizon=horizon,
-            )
-            baseline = mean_yield(spec, FirstPrice, seeds)
-            fr = mean_yield(spec, lambda: FirstReward(ALPHA, DISCOUNT_RATE), seeds)
-            result.rows.append(
-                {
-                    "load_factor": load,
-                    "decay_horizon": horizon,
-                    "improvement_pct": improvement_percent(fr, baseline),
-                }
-            )
+    with CellExecutor(workers) as ex:
+        cells = {}
+        for load in load_factors:
+            for horizon in horizons:
+                spec = economy_spec(
+                    n_jobs=n_jobs,
+                    value_skew=2.0,
+                    decay_skew=5.0,
+                    load_factor=load,
+                    processors=processors,
+                    decay_horizon=horizon,
+                )
+                cells[load, horizon] = (
+                    submit_mean_yield(ex, spec, ("firstprice", {}), seeds),
+                    submit_mean_yield(ex, spec, _FIRSTREWARD, seeds),
+                )
+        for load in load_factors:
+            for horizon in horizons:
+                baseline_h, fr_h = cells[load, horizon]
+                result.rows.append(
+                    {
+                        "load_factor": load,
+                        "decay_horizon": horizon,
+                        "improvement_pct": improvement_percent(
+                            fr_h.result(), baseline_h.result()
+                        ),
+                    }
+                )
     return result

@@ -39,14 +39,38 @@ class GenericHeuristic(abc.ABC):
 
     name = "generic"
 
+    def __init__(self) -> None:
+        #: reusable scratch buffer for per-pass scores — ``best_index``
+        #: is called once per dispatch, so a fresh list per call is pure
+        #: allocator churn
+        self._scores: list[float] = []
+
     @abc.abstractmethod
     def score(self, task: Task, competitors: Sequence[Task], now: float) -> float:
         """Priority of *task* among *competitors* (which include it)."""
 
+    def begin_pass(self, tasks: Sequence[Task], now: float) -> None:
+        """Hook: precompute per-competitor state for one scoring pass.
+
+        Called by :meth:`best_index` before scoring; subclasses with
+        competitor-dependent terms override it to hoist per-competitor
+        work out of the O(n²) score loop.  Scores must be identical with
+        or without the hook — it is a caching point, not a semantic one.
+        """
+
+    def end_pass(self) -> None:
+        """Hook: drop per-pass state (see :meth:`begin_pass`)."""
+
     def best_index(self, tasks: Sequence[Task], now: float) -> int:
         if not tasks:
             raise SchedulingError("no tasks to score")
-        scores = [self.score(t, tasks, now) for t in tasks]
+        scores = self._scores
+        scores.clear()
+        self.begin_pass(tasks, now)
+        try:
+            scores.extend(self.score(t, tasks, now) for t in tasks)
+        finally:
+            self.end_pass()
         return max(range(len(tasks)), key=scores.__getitem__)
 
 
@@ -65,6 +89,7 @@ class GenericPresentValue(GenericHeuristic):
     name = "generic-pv"
 
     def __init__(self, discount_rate: float = 0.01) -> None:
+        super().__init__()
         if not discount_rate >= 0:
             raise SchedulingError(f"discount_rate must be >= 0, got {discount_rate!r}")
         self.discount_rate = float(discount_rate)
@@ -84,27 +109,58 @@ class GenericFirstReward(GenericHeuristic):
     name = "generic-firstreward"
 
     def __init__(self, alpha: float = 0.3, discount_rate: float = 0.01) -> None:
+        super().__init__()
         if not 0.0 <= alpha <= 1.0:
             raise SchedulingError(f"alpha must be in [0, 1], got {alpha!r}")
         if not discount_rate >= 0:
             raise SchedulingError(f"discount_rate must be >= 0, got {discount_rate!r}")
         self.alpha = float(alpha)
         self.discount_rate = float(discount_rate)
+        #: per-pass cache: (competitors list identity, [(d_j, horizon_j)]).
+        #: d_j and horizon_j depend only on (task_j, now), so one pass can
+        #: read each competitor's value function O(n) times total instead
+        #: of O(n²) — same numbers, same accumulation order.
+        self._pass_key: Optional[tuple[int, float]] = None
+        self._pass_terms: list[tuple[float, float]] = []
+
+    def begin_pass(self, tasks: Sequence[Task], now: float) -> None:
+        if self.alpha >= 1.0:
+            return
+        terms = self._pass_terms
+        terms.clear()
+        for other in tasks:
+            delay = task_delay_now(other, now)
+            d = other.vf.decay_at(delay)
+            # the horizon is only consulted when d > 0 (matching the
+            # uncached loop, which skips before reading it)
+            horizon = other.vf.remaining_decay_horizon(delay) if d > 0.0 else 0.0
+            terms.append((d, horizon))
+        self._pass_key = (id(tasks), now)
+
+    def end_pass(self) -> None:
+        self._pass_key = None
+        self._pass_terms.clear()
 
     def score(self, task: Task, competitors: Sequence[Task], now: float) -> float:
         rpt = max(task.estimated_remaining, _MIN_REMAINING)
         pv = task_yield_now(task, now) / (1.0 + self.discount_rate * rpt)
         cost = 0.0
         if self.alpha < 1.0:
-            for other in competitors:
-                if other is task:
-                    continue
-                delay = task_delay_now(other, now)
-                d = other.vf.decay_at(delay)
-                if d <= 0.0:
-                    continue
-                horizon = other.vf.remaining_decay_horizon(delay)
-                cost += d * min(rpt, horizon)
+            if self._pass_key == (id(competitors), now):
+                for other, (d, horizon) in zip(competitors, self._pass_terms):
+                    if other is task or d <= 0.0:
+                        continue
+                    cost += d * min(rpt, horizon)
+            else:  # standalone call outside a best_index pass
+                for other in competitors:
+                    if other is task:
+                        continue
+                    delay = task_delay_now(other, now)
+                    d = other.vf.decay_at(delay)
+                    if d <= 0.0:
+                        continue
+                    horizon = other.vf.remaining_decay_horizon(delay)
+                    cost += d * min(rpt, horizon)
         return (self.alpha * pv - (1.0 - self.alpha) * cost) / rpt
 
 

@@ -1,9 +1,24 @@
 """The pending-task pool: Task objects plus cached SoA columns.
 
 The site engine holds queued tasks here.  Heuristic scoring operates on
-the pool's :class:`~repro.scheduling.base.PoolColumns`; the columns are
-rebuilt lazily after any mutation (add/remove), which keeps the common
-case — several score computations between mutations — allocation-free.
+the pool's :class:`~repro.scheduling.base.PoolColumns`.  The columns are
+maintained *incrementally*: task attributes are written into
+preallocated capacity-doubling arrays on ``add`` (amortized O(1)), and
+removals shift the tail down with one vectorized move instead of
+rebuilding every column from Python attribute access.  ``columns()``
+itself is O(1) — it only slices the backing storage.
+
+Determinism contract: removals preserve pool order.  Swap-delete would
+be O(1) but reorders the index space, which changes ``argmax``
+tie-breaking and therefore schedules — the experiment layer promises
+byte-identical results regardless of worker count, so order is part of
+the pool's public contract.
+
+Aliasing contract: the arrays inside a :class:`PoolColumns` view are
+read-only slices of the pool's backing storage, valid until the next
+mutation.  Consumers must not hold a view across ``add``/``remove`` —
+every caller in the engine re-reads ``columns()`` after mutating, and
+the read-only flag turns accidental writes into hard errors.
 """
 
 from __future__ import annotations
@@ -16,29 +31,64 @@ from repro.errors import SchedulingError
 from repro.scheduling.base import PoolColumns
 from repro.tasks.task import Task
 
+#: Row indices into the backing (6, capacity) array.
+_ARRIVAL, _RUNTIME, _REMAINING, _VALUE, _DECAY, _BOUND = range(6)
+
+#: Initial backing capacity (grows by doubling).
+_MIN_CAPACITY = 64
+
 
 class PendingPool:
-    """Mutable set of queued tasks with vectorized column access."""
+    """Mutable ordered set of queued tasks with vectorized column access."""
 
-    __slots__ = ("_tasks", "_columns", "_multi_node")
+    __slots__ = ("_tasks", "_data", "_columns", "_multi_node")
 
     def __init__(self) -> None:
         self._tasks: list[Task] = []
+        self._data = np.empty((6, _MIN_CAPACITY))
         self._columns: Optional[PoolColumns] = None
         self._multi_node = 0  # queued tasks with demand > 1
 
     # ------------------------------------------------------------------
     def add(self, task: Task) -> None:
+        """Append *task*, capturing its scheduler-visible scalars.
+
+        The row snapshots the *believed* quantities (declared estimate,
+        estimated remaining time) at insertion.  That is sufficient
+        because a queued task's RPT only changes through preemption or a
+        crash requeue, both of which re-add it — writing a fresh row.
+        """
+        n = len(self._tasks)
+        data = self._data
+        if n == data.shape[1]:
+            data = self._grow(n)
+        data[_ARRIVAL, n] = task.arrival
+        data[_RUNTIME, n] = task.estimate
+        data[_REMAINING, n] = task.estimated_remaining
+        data[_VALUE, n] = task.value
+        data[_DECAY, n] = task.decay
+        data[_BOUND, n] = task.bound
         self._tasks.append(task)
         if task.demand > 1:
             self._multi_node += 1
         self._columns = None
 
+    def _grow(self, n: int) -> np.ndarray:
+        grown = np.empty((6, max(_MIN_CAPACITY, 2 * n)))
+        grown[:, :n] = self._data[:, :n]
+        self._data = grown
+        return grown
+
     def remove_at(self, index: int) -> Task:
         """Remove and return the task at *index* (column index space)."""
-        if not 0 <= index < len(self._tasks):
-            raise SchedulingError(f"pool index {index} out of range (n={len(self._tasks)})")
+        n = len(self._tasks)
+        if not 0 <= index < n:
+            raise SchedulingError(f"pool index {index} out of range (n={n})")
         task = self._tasks.pop(index)
+        if index < n - 1:
+            # one vectorized tail shift across all six columns preserves
+            # order (see the determinism contract above)
+            self._data[:, index : n - 1] = self._data[:, index + 1 : n]
         if task.demand > 1:
             self._multi_node -= 1
         self._columns = None
@@ -46,12 +96,10 @@ class PendingPool:
 
     def remove(self, task: Task) -> None:
         try:
-            self._tasks.remove(task)
+            index = self._tasks.index(task)
         except ValueError:
             raise SchedulingError(f"task {task.tid} is not in the pool") from None
-        if task.demand > 1:
-            self._multi_node -= 1
-        self._columns = None
+        self.remove_at(index)
 
     @property
     def has_multi_node(self) -> bool:
@@ -86,9 +134,10 @@ class PendingPool:
     def columns(self) -> PoolColumns:
         """SoA view aligned with the pool's current order.
 
-        Rebuilt only after mutations.  ``remaining`` is captured at
-        rebuild time — correct because a queued task's RPT only changes
-        through preemption, which re-adds it (a mutation).
+        O(1): slices the incrementally maintained backing storage.  The
+        slices are marked read-only and are invalidated (in the sense
+        that they alias mutated storage) by the next pool mutation; no
+        engine code holds a view across mutations.
 
         The view carries the scheduler's *believed* quantities: the
         declared estimate and the estimated remaining time.  With
@@ -98,18 +147,10 @@ class PendingPool:
         """
         if self._columns is None:
             n = len(self._tasks)
-            arrival = np.empty(n)
-            runtime = np.empty(n)
-            remaining = np.empty(n)
-            value = np.empty(n)
-            decay = np.empty(n)
-            bound = np.empty(n)
-            for i, t in enumerate(self._tasks):
-                arrival[i] = t.arrival
-                runtime[i] = t.estimate
-                remaining[i] = t.estimated_remaining
-                value[i] = t.value
-                decay[i] = t.decay
-                bound[i] = t.bound
-            self._columns = PoolColumns(arrival, runtime, remaining, value, decay, bound)
+            views = []
+            for row in range(6):
+                view = self._data[row, :n]
+                view.flags.writeable = False
+                views.append(view)
+            self._columns = PoolColumns(*views)
         return self._columns

@@ -42,7 +42,17 @@ class Event:
         Callable invoked as ``callback(*args)`` when the event fires.
     """
 
-    __slots__ = ("time", "priority", "seq", "callback", "args", "state", "tag", "daemon")
+    __slots__ = (
+        "time",
+        "priority",
+        "seq",
+        "key",
+        "callback",
+        "args",
+        "state",
+        "tag",
+        "daemon",
+    )
 
     def __init__(
         self,
@@ -56,6 +66,10 @@ class Event:
         self.time = float(time)
         self.priority = priority
         self.seq = -1  # assigned by the queue on push
+        #: precomputed ordering key — rebuilt by the queue when ``seq`` is
+        #: assigned, so heap comparisons are plain tuple compares instead
+        #: of two method calls and two tuple constructions each
+        self.key = (self.time, priority, -1)
         self.callback = callback
         self.args = args
         self.state = EventState.PENDING
@@ -81,7 +95,7 @@ class Event:
         return (self.time, self.priority, self.seq)
 
     def __lt__(self, other: "Event") -> bool:
-        return self.sort_key() < other.sort_key()
+        return self.key < other.key
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         name = getattr(self.callback, "__name__", repr(self.callback))

@@ -1,10 +1,23 @@
-"""Heap-ordered pending-event set with lazy cancellation.
+"""Heap-ordered pending-event set with lazy cancellation and a head slot.
 
 The queue is a binary heap of :class:`~repro.sim.events.Event` objects.
 Cancellation marks the event and leaves it in the heap; cancelled entries
 are skipped (and discarded) on pop/peek.  This keeps both ``push`` and
 ``cancel`` O(log n) / O(1) while preserving heap integrity — the standard
 technique for DES kernels and priority-queue based schedulers.
+
+Two hot-path refinements on top of the classic design:
+
+* **Head slot.**  Discrete-event kernels overwhelmingly push an event and
+  pop it next (completion chains, daemon ticks, cascades).  A pushed
+  event that precedes everything already queued parks in a one-element
+  slot instead of the heap, so the push and the following pop are O(1)
+  with a single comparison instead of O(log n) heap sifts.  The slot
+  always holds the global minimum of the live set when occupied, so
+  ordering is exactly the heap's ``(time, priority, seq)`` total order.
+* **Precomputed keys.**  ``Event.key`` is rebuilt once at push time;
+  every heap comparison is then a plain tuple compare instead of two
+  attribute lookups, two method calls, and two tuple constructions.
 """
 
 from __future__ import annotations
@@ -19,12 +32,13 @@ from repro.sim.events import Event, EventState
 class EventQueue:
     """Priority queue of pending events ordered by ``(time, priority, seq)``."""
 
-    __slots__ = ("_heap", "_seq", "_live", "_essential")
+    __slots__ = ("_heap", "_head", "_seq", "_live", "_essential")
 
     def __init__(self) -> None:
         self._heap: list[Event] = []
+        self._head: Optional[Event] = None  # fast slot; minimum when set
         self._seq = 0
-        self._live = 0  # number of non-cancelled events in the heap
+        self._live = 0  # number of non-cancelled events in the queue
         self._essential = 0  # live non-daemon events
 
     def __len__(self) -> int:
@@ -38,11 +52,26 @@ class EventQueue:
         if not event.pending:
             raise SimulationError(f"cannot enqueue non-pending event {event!r}")
         event.seq = self._seq
+        event.key = (event.time, event.priority, self._seq)
         self._seq += 1
-        heapq.heappush(self._heap, event)
         self._live += 1
         if not event.daemon:
             self._essential += 1
+        head = self._head
+        if head is not None and head.cancelled:
+            self._head = head = None
+        if head is None:
+            # take the slot only when the event precedes the whole heap —
+            # the slot invariant (head == global minimum) depends on it
+            if not self._heap or event.key < self._heap[0].key:
+                self._head = event
+            else:
+                heapq.heappush(self._heap, event)
+        elif event.key < head.key:
+            heapq.heappush(self._heap, head)
+            self._head = event
+        else:
+            heapq.heappush(self._heap, event)
         return event
 
     def cancel(self, event: Event) -> None:
@@ -62,12 +91,19 @@ class EventQueue:
             self._essential -= 1
 
     def _drop_cancelled_head(self) -> None:
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+        head = self._head
+        if head is not None and head.cancelled:
+            self._head = None
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
 
     def peek(self) -> Optional[Event]:
         """The next event to fire, or None when empty (does not remove)."""
         self._drop_cancelled_head()
+        head = self._head
+        if head is not None:
+            return head
         return self._heap[0] if self._heap else None
 
     def pop(self) -> Event:
@@ -77,9 +113,13 @@ class EventQueue:
         FIRED when it actually runs the callback.
         """
         self._drop_cancelled_head()
-        if not self._heap:
-            raise SimulationError("pop from empty event queue")
-        event = heapq.heappop(self._heap)
+        event = self._head
+        if event is not None:
+            self._head = None
+        else:
+            if not self._heap:
+                raise SimulationError("pop from empty event queue")
+            event = heapq.heappop(self._heap)
         self._live -= 1
         if not event.daemon:
             self._essential -= 1
@@ -100,10 +140,17 @@ class EventQueue:
 
         Intended for introspection/tests, not for the hot path.
         """
-        return (e for e in self._heap if e.pending)
+        head = self._head
+        if head is not None and head.pending:
+            yield head
+        yield from (e for e in self._heap if e.pending)
 
     def clear(self) -> None:
         """Drop every event (pending ones are marked cancelled)."""
+        if self._head is not None:
+            if self._head.pending:
+                self._head.state = EventState.CANCELLED
+            self._head = None
         for event in self._heap:
             if event.pending:
                 event.state = EventState.CANCELLED

@@ -1,0 +1,155 @@
+"""Property tests: incremental pool columns vs a from-scratch rebuild.
+
+The pool maintains its SoA columns incrementally (amortized-O(1) append,
+vectorized tail-shift delete).  These tests drive arbitrary mutation
+sequences and assert the columns always equal what a naive rebuild from
+the surviving tasks' attributes would produce — the invariant every
+heuristic's scoring depends on.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scheduling import PendingPool
+from repro.tasks import Task
+from repro.valuefn import LinearDecayValueFunction
+
+
+def fresh_task(i: int, demand: int = 1) -> Task:
+    return Task(
+        arrival=float(i),
+        runtime=5.0 + (i % 7),
+        vf=LinearDecayValueFunction(100.0 + i, 2.0 + 0.1 * i, None if i % 3 else 0.0),
+        demand=demand,
+    )
+
+
+def rebuilt_columns(tasks: list) -> list:
+    """The from-scratch SoA the incremental columns must match."""
+    return [
+        np.array([t.arrival for t in tasks]),
+        np.array([t.estimate for t in tasks]),
+        np.array([t.estimated_remaining for t in tasks]),
+        np.array([t.value for t in tasks]),
+        np.array([t.decay for t in tasks]),
+        np.array([t.bound for t in tasks]),
+    ]
+
+
+def assert_matches(pool: PendingPool, shadow: list) -> None:
+    cols = pool.columns()
+    views = (cols.arrival, cols.runtime, cols.remaining, cols.value, cols.decay,
+             cols.bound)
+    for view, expect in zip(views, rebuilt_columns(shadow)):
+        assert view.shape == expect.shape
+        assert np.array_equal(view, expect)
+    assert pool.tasks == shadow
+    assert len(pool) == len(shadow)
+    assert pool.has_multi_node == any(t.demand > 1 for t in shadow)
+
+
+#: One mutation: (op, payload). Fractions pick an index into the current
+#: pool so sequences stay valid at any length.
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("add"), st.integers(min_value=1, max_value=3)),
+        st.tuples(st.just("remove_at"), st.floats(min_value=0.0, max_value=0.999)),
+        st.tuples(st.just("remove"), st.floats(min_value=0.0, max_value=0.999)),
+        st.tuples(st.just("readd"), st.floats(min_value=0.0, max_value=0.999)),
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=ops)
+def test_columns_match_rebuild_after_arbitrary_mutations(ops):
+    pool = PendingPool()
+    shadow: list = []
+    counter = 0
+    for op, payload in ops:
+        if op == "add":
+            counter += 1
+            task = fresh_task(counter, demand=payload)
+            pool.add(task)
+            shadow.append(task)
+        elif not shadow:
+            continue
+        else:
+            index = int(payload * len(shadow))
+            if op == "remove_at":
+                removed = pool.remove_at(index)
+                assert removed is shadow.pop(index)
+            elif op == "remove":
+                task = shadow.pop(index)
+                pool.remove(task)
+            else:  # readd: out of the pool, execute a bit, come back
+                task = shadow.pop(index)
+                pool.remove(task)
+                task.submit()
+                task.accept()
+                task.start(0.0)
+                task.preempt(min(1.0, task.remaining / 2))
+                pool.add(task)
+                shadow.append(task)
+        assert_matches(pool, shadow)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    demands=st.lists(st.integers(min_value=1, max_value=4), min_size=1, max_size=30),
+    removals=st.lists(st.floats(min_value=0.0, max_value=0.999), max_size=30),
+)
+def test_multi_node_counter_tracks_membership(demands, removals):
+    pool = PendingPool()
+    shadow = []
+    for i, demand in enumerate(demands):
+        task = fresh_task(i, demand=demand)
+        pool.add(task)
+        shadow.append(task)
+        assert pool.has_multi_node == any(t.demand > 1 for t in shadow)
+    for fraction in removals:
+        if not shadow:
+            break
+        shadow.pop(index := int(fraction * len(shadow)))
+        pool.remove_at(index)
+        assert pool.has_multi_node == any(t.demand > 1 for t in shadow)
+
+
+def test_preemption_readd_refreshes_the_row():
+    """A re-added task's row must carry its post-preemption RPT."""
+    pool = PendingPool()
+    task = fresh_task(0)
+    pool.add(task)
+    before = float(pool.columns().remaining[0])
+    pool.remove(task)
+    task.submit()
+    task.accept()
+    task.start(0.0)
+    task.preempt(2.0)  # two units of work done
+    pool.add(task)
+    after = float(pool.columns().remaining[0])
+    assert after == before - 2.0
+
+
+def test_columns_views_are_read_only():
+    pool = PendingPool()
+    pool.add(fresh_task(0))
+    cols = pool.columns()
+    try:
+        cols.remaining[0] = -1.0
+    except ValueError:
+        pass
+    else:  # pragma: no cover - the assignment must fail
+        raise AssertionError("pool column views must be read-only")
+
+
+def test_columns_cached_until_mutation():
+    pool = PendingPool()
+    pool.add(fresh_task(0))
+    first = pool.columns()
+    assert pool.columns() is first
+    pool.add(fresh_task(1))
+    assert pool.columns() is not first

@@ -1,0 +1,159 @@
+"""Property tests: the EventQueue head-slot fast path vs a reference model.
+
+The queue parks a pushed event that precedes the whole heap in a
+one-element slot (O(1) push/pop for the dominant DES pattern).  These
+tests drive arbitrary interleavings of push/pop/cancel/peek and assert
+the observable order is exactly the reference ``(time, priority, seq)``
+total order — the slot must never reorder, duplicate, or lose events.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.events import Event, EventState
+from repro.sim.queue import EventQueue
+
+
+def make_event(time: float, priority: int = 0, daemon: bool = False) -> Event:
+    return Event(time, lambda: None, priority=priority, daemon=daemon)
+
+
+#: Op stream: pushes with (time, priority), pops, cancels (index fraction
+#: into the live set), and peeks.
+ops = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("push"),
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            st.integers(min_value=-2, max_value=2),
+        ),
+        st.tuples(st.just("pop"), st.just(0.0), st.just(0)),
+        st.tuples(
+            st.just("cancel"),
+            st.floats(min_value=0.0, max_value=0.999),
+            st.just(0),
+        ),
+        st.tuples(st.just("peek"), st.just(0.0), st.just(0)),
+    ),
+    min_size=1,
+    max_size=200,
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(ops=ops)
+def test_queue_matches_reference_order(ops):
+    queue = EventQueue()
+    live: list[Event] = []  # reference: every pushed, uncancelled, unpopped event
+
+    def reference_min():
+        return min(live, key=lambda e: (e.time, e.priority, e.seq))
+
+    for op, x, priority in ops:
+        if op == "push":
+            event = make_event(x, priority)
+            queue.push(event)
+            live.append(event)
+        elif op == "pop":
+            if not live:
+                continue
+            expected = reference_min()
+            popped = queue.pop()
+            assert popped is expected
+            live.remove(popped)
+        elif op == "cancel":
+            if not live:
+                continue
+            victim = live.pop(int(x * len(live)))
+            queue.cancel(victim)
+        else:  # peek
+            if live:
+                assert queue.peek() is reference_min()
+            else:
+                assert queue.peek() is None
+        assert len(queue) == len(live)
+        assert sorted(e.seq for e in queue.iter_pending()) == sorted(
+            e.seq for e in live
+        )
+
+    # drain: the survivors must come out in exact reference order
+    expected_order = sorted(live, key=lambda e: (e.time, e.priority, e.seq))
+    drained = [queue.pop() for _ in range(len(live))]
+    assert drained == expected_order
+    assert not queue
+
+
+def test_push_pop_chain_stays_ordered_over_loaded_heap():
+    """The cascade pattern: near-term chain over parked far-future events."""
+    queue = EventQueue()
+    parked = [make_event(1e9 + i) for i in range(50)]
+    for event in parked:
+        queue.push(event)
+    for i in range(200):
+        near = make_event(float(i))
+        queue.push(near)
+        assert queue.peek() is near  # must take the slot
+        assert queue.pop() is near
+    drained = [queue.pop() for _ in range(50)]
+    assert drained == parked  # far-future events untouched, in order
+    assert not queue
+
+
+def test_cancel_slotted_head_is_skipped():
+    queue = EventQueue()
+    later = make_event(10.0)
+    queue.push(later)
+    head = make_event(1.0)
+    queue.push(head)  # precedes the heap -> slot
+    queue.cancel(head)
+    assert queue.peek() is later
+    assert queue.pop() is later
+    assert not queue
+
+
+def test_slot_is_displaced_by_earlier_push():
+    queue = EventQueue()
+    first = make_event(5.0)
+    second = make_event(2.0)
+    queue.push(first)
+    queue.push(second)  # earlier: must displace first from the slot
+    assert queue.pop() is second
+    assert queue.pop() is first
+
+
+def test_ties_fire_in_insertion_order_through_the_slot():
+    queue = EventQueue()
+    a, b = make_event(1.0), make_event(1.0)
+    queue.push(a)  # slot
+    queue.push(b)  # equal key: must NOT displace a
+    assert queue.pop() is a
+    assert queue.pop() is b
+
+
+def test_clear_cancels_slotted_event():
+    queue = EventQueue()
+    slotted = make_event(1.0)
+    queue.push(slotted)
+    queue.clear()
+    assert slotted.state is EventState.CANCELLED
+    assert len(queue) == 0
+    assert queue.peek() is None
+
+
+def test_pop_empty_raises():
+    queue = EventQueue()
+    try:
+        queue.pop()
+    except SimulationError:
+        pass
+    else:  # pragma: no cover
+        raise AssertionError("pop from empty queue must raise")
+
+
+def test_essential_count_ignores_daemons_in_slot():
+    queue = EventQueue()
+    queue.push(make_event(1.0, daemon=True))
+    assert queue.essential_count == 0
+    queue.push(make_event(2.0))
+    assert queue.essential_count == 1

@@ -1,0 +1,121 @@
+"""Tests for the micro-benchmark harness and the regression comparator."""
+
+import json
+import sys
+
+import pytest
+
+sys.path.insert(0, "scripts")
+import bench_compare  # noqa: E402
+
+from repro import bench  # noqa: E402
+
+
+def doc(results, schema=bench.BENCH_SCHEMA, cpu_count=8):
+    return {
+        "meta": {"schema": schema, "cpu_count": cpu_count},
+        "results": results,
+    }
+
+
+def write(tmp_path, name, document):
+    path = tmp_path / name
+    path.write_text(json.dumps(document))
+    return str(path)
+
+
+class TestBenchCompare:
+    def test_identical_documents_exit_zero(self, tmp_path, capsys):
+        document = doc({"event_throughput_eps": 100.0, "select_cycle_us_n200": 50.0})
+        base = write(tmp_path, "base.json", document)
+        fresh = write(tmp_path, "fresh.json", document)
+        assert bench_compare.main([fresh, base]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_throughput_regression_exits_one(self, tmp_path, capsys):
+        base = write(tmp_path, "base.json", doc({"event_throughput_eps": 100.0}))
+        fresh = write(tmp_path, "fresh.json", doc({"event_throughput_eps": 50.0}))
+        assert bench_compare.main([fresh, base, "--tolerance", "0.3"]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_latency_regression_exits_one(self, tmp_path):
+        base = write(tmp_path, "base.json", doc({"select_cycle_us_n200": 50.0}))
+        fresh = write(tmp_path, "fresh.json", doc({"select_cycle_us_n200": 90.0}))
+        assert bench_compare.main([fresh, base, "--tolerance", "0.3"]) == 1
+
+    def test_improvement_exits_zero(self, tmp_path, capsys):
+        base = write(tmp_path, "base.json", doc({"select_cycle_us_n200": 90.0}))
+        fresh = write(tmp_path, "fresh.json", doc({"select_cycle_us_n200": 50.0}))
+        assert bench_compare.main([fresh, base, "--tolerance", "0.3"]) == 0
+        assert "improved" in capsys.readouterr().out
+
+    def test_within_tolerance_exits_zero(self, tmp_path):
+        base = write(tmp_path, "base.json", doc({"select_cycle_us_n200": 100.0}))
+        fresh = write(tmp_path, "fresh.json", doc({"select_cycle_us_n200": 120.0}))
+        assert bench_compare.main([fresh, base, "--tolerance", "0.35"]) == 0
+
+    def test_report_only_never_fails(self, tmp_path, capsys):
+        base = write(tmp_path, "base.json", doc({"event_throughput_eps": 100.0}))
+        fresh = write(tmp_path, "fresh.json", doc({"event_throughput_eps": 10.0}))
+        assert bench_compare.main([fresh, base, "--report-only"]) == 0
+        assert "report-only" in capsys.readouterr().err
+
+    def test_schema_mismatch_exits_two(self, tmp_path):
+        base = write(tmp_path, "base.json", doc({"x_eps": 1.0}, schema=0))
+        fresh = write(tmp_path, "fresh.json", doc({"x_eps": 1.0}))
+        assert bench_compare.main([fresh, base]) == 2
+
+    def test_malformed_document_aborts(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        with pytest.raises(SystemExit):
+            bench_compare.main([str(bad), str(bad)])
+
+    def test_speedup_skipped_on_small_machines(self, tmp_path, capsys):
+        # A 1-CPU box cannot regress a 4-worker speedup: must skip, exit 0.
+        base = write(tmp_path, "base.json", doc({"speedup_w4": 3.0}, cpu_count=8))
+        fresh = write(tmp_path, "fresh.json", doc({"speedup_w4": 0.8}, cpu_count=1))
+        assert bench_compare.main([fresh, base]) == 0
+        assert "skip" in capsys.readouterr().out
+
+    def test_speedup_regression_counts_with_enough_cpus(self, tmp_path):
+        base = write(tmp_path, "base.json", doc({"speedup_w4": 3.0}, cpu_count=8))
+        fresh = write(tmp_path, "fresh.json", doc({"speedup_w4": 1.0}, cpu_count=8))
+        assert bench_compare.main([fresh, base, "--tolerance", "0.3"]) == 1
+
+    def test_unclassified_metrics_are_ignored(self, tmp_path):
+        base = write(tmp_path, "base.json", doc({"events_fired": 100.0}))
+        fresh = write(tmp_path, "fresh.json", doc({"events_fired": 1.0}))
+        assert bench_compare.main([fresh, base]) == 0
+
+
+class TestBenchDocument:
+    def test_metric_names_have_directions(self):
+        # Every metric the harness emits must be classifiable, or
+        # bench_compare would silently never guard it.
+        for metric in (
+            "event_throughput_eps",
+            "loaded_cascade_eps",
+            "select_cycle_us_n200",
+            "pool_churn_us_n1000",
+            "fig6_cell_s",
+            "experiment_w1_s",
+            "speedup_w4",
+        ):
+            assert bench_compare._direction(metric) != 0, metric
+
+    def test_committed_baseline_is_valid(self):
+        document = bench_compare._load(bench_compare.DEFAULT_BASELINE)
+        assert document["meta"]["schema"] == bench.BENCH_SCHEMA
+        assert document["meta"]["cpu_count"] >= 1
+        assert all(
+            isinstance(v, (int, float)) for v in document["results"].values()
+        )
+
+    def test_write_bench_round_trips(self, tmp_path):
+        document = doc({"event_throughput_eps": 1.0})
+        path = tmp_path / "out.json"
+        bench.write_bench(document, str(path))
+        text = path.read_text()
+        assert text.endswith("\n")
+        assert json.loads(text) == document
