@@ -8,5 +8,7 @@ def bench_fig7(benchmark):
     series = result.series("threshold", "improvement_pct", "load_factor")
     loads = sorted(series)
     # the ideal threshold moves right as load grows
-    peak = lambda load: max(series[load], key=lambda p: p[1])[0]
+    def peak(load):
+        return max(series[load], key=lambda p: p[1])[0]
+
     assert peak(loads[-1]) >= peak(loads[0])

@@ -84,7 +84,7 @@ def main() -> None:
     sim.run()
 
     rows = []
-    for name, client in clients.items():
+    for _name, client in clients.items():
         summary = client.summary()
         summary["refund"] = client.reconcile()
         rows.append(summary)

@@ -49,13 +49,13 @@ def build_rush() -> Trace:
     rng = np.random.default_rng(3)
     rows = []
     # relaxed analytics: 9 days of slack, low value density
-    for i in range(60):
+    for _i in range(60):
         arrival = float(rng.uniform(0.0, 48.0))
         runtime = float(rng.uniform(2.0, 10.0))
         rows.append(deadline_task(arrival, runtime, value=40.0,
                                   deadline=arrival + runtime + 216.0))
     # urgent quarter-close reports: worth 10x, due within hours
-    for i in range(25):
+    for _i in range(25):
         arrival = float(rng.uniform(20.0, 40.0))
         runtime = float(rng.uniform(3.0, 6.0))
         rows.append(deadline_task(arrival, runtime, value=400.0,

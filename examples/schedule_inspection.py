@@ -23,7 +23,7 @@ def build_tasks() -> list[Task]:
     """A morning's work: long cheap batch jobs plus urgent valuable ones."""
     rng = np.random.default_rng(4)
     tasks = []
-    for i in range(6):  # background batch work, all released early
+    for _i in range(6):  # background batch work, all released early
         runtime = float(rng.uniform(30.0, 60.0))
         tasks.append(
             Task(
@@ -32,7 +32,7 @@ def build_tasks() -> list[Task]:
                 vf=LinearDecayValueFunction(value=runtime, decay=0.05, penalty_bound=0.0),
             )
         )
-    for i in range(4):  # urgent interactive jobs arriving mid-morning
+    for _i in range(4):  # urgent interactive jobs arriving mid-morning
         runtime = float(rng.uniform(8.0, 15.0))
         tasks.append(
             Task(

@@ -46,7 +46,7 @@ def _load(path: str) -> dict:
         with open(path) as handle:
             document = json.load(handle)
     except (OSError, json.JSONDecodeError) as exc:
-        raise SystemExit(f"bench_compare: cannot read {path}: {exc}")
+        raise SystemExit(f"bench_compare: cannot read {path}: {exc}") from exc
     if "results" not in document or "meta" not in document:
         raise SystemExit(f"bench_compare: {path} is not a bench document")
     return document

@@ -1,0 +1,178 @@
+#!/usr/bin/env python
+"""Gate mypy against the committed baseline (``scripts/mypy_baseline.txt``).
+
+Two lanes, mirroring the policy in ``pyproject.toml`` / docs/static_analysis.md:
+
+* **Strict core** (``repro.sim``, ``repro.valuefn``, ``repro.tasks``,
+  ``repro.errors``): zero tolerance — any error fails, never baselined.
+* **Everywhere else**: errors are compared against the baseline.  A new
+  error (not in the baseline) fails; a vanished baseline entry is
+  reported so the baseline can be shrunk.  Debt can only ratchet down.
+
+Baseline entries are line-number-free (``path: [code] message``) so
+unrelated edits shifting lines don't churn the file.
+
+Usage::
+
+    python scripts/check_mypy.py              # gate (exit 0/1/2)
+    python scripts/check_mypy.py --update     # rewrite the baseline
+    python scripts/check_mypy.py --report-only
+
+Exit status: 0 ok (or mypy unavailable — the gate degrades to a no-op
+so containers without the dev toolchain still run the test suite),
+1 new findings, 2 usage/configuration error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+from collections import Counter
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BASELINE = os.path.join(REPO_ROOT, "scripts", "mypy_baseline.txt")
+
+#: Path prefixes of the strict, zero-tolerance core.
+STRICT_PREFIXES = (
+    os.path.join("src", "repro", "sim"),
+    os.path.join("src", "repro", "valuefn"),
+    os.path.join("src", "repro", "tasks"),
+    os.path.join("src", "repro", "errors.py"),
+)
+
+_ERROR_LINE = re.compile(
+    r"^(?P<path>[^:\n]+\.py):(?P<line>\d+)(?::\d+)?: error: (?P<message>.*)$"
+)
+
+
+def mypy_available() -> bool:
+    try:
+        import mypy  # noqa: F401
+
+        return True
+    except ImportError:
+        return False
+
+
+def run_mypy() -> tuple[list[str], str]:
+    """Run mypy over ``src/repro``; returns (error lines, raw output)."""
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", "--no-error-summary", "src/repro"],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    if proc.returncode not in (0, 1):
+        raise SystemExit(
+            f"check_mypy: mypy failed to run (exit {proc.returncode}):\n{proc.stderr}"
+        )
+    errors = [line for line in proc.stdout.splitlines() if _ERROR_LINE.match(line)]
+    return errors, proc.stdout
+
+
+def normalize(line: str) -> str:
+    """``path:123: error: msg`` → ``path: msg`` (line numbers drift)."""
+    match = _ERROR_LINE.match(line)
+    assert match is not None
+    return f"{match.group('path')}: {match.group('message')}"
+
+
+def is_strict_path(line: str) -> bool:
+    match = _ERROR_LINE.match(line)
+    assert match is not None
+    path = os.path.normpath(match.group("path"))
+    return path.startswith(STRICT_PREFIXES)
+
+
+def load_baseline() -> Counter:
+    if not os.path.exists(BASELINE):
+        return Counter()
+    entries: Counter = Counter()
+    with open(BASELINE, encoding="utf-8") as handle:
+        for raw in handle:
+            stripped = raw.strip()
+            if stripped and not stripped.startswith("#"):
+                entries[stripped] += 1
+    return entries
+
+
+def write_baseline(entries: list[str]) -> None:
+    with open(BASELINE, "w", encoding="utf-8") as handle:
+        handle.write(
+            "# mypy baseline: known type debt outside the strict core.\n"
+            "# One normalized `path: message` entry per line; regenerate with\n"
+            "#   python scripts/check_mypy.py --update\n"
+            "# Policy: this file only ever shrinks (docs/static_analysis.md).\n"
+        )
+        for entry in sorted(entries):
+            handle.write(entry + "\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--update", action="store_true", help="rewrite the baseline from this run"
+    )
+    parser.add_argument(
+        "--report-only", action="store_true", help="print findings but always exit 0"
+    )
+    args = parser.parse_args(argv)
+
+    if not mypy_available():
+        print("check_mypy: mypy not installed; skipping (gate degrades to no-op)")
+        return 0
+
+    errors, _raw = run_mypy()
+    strict_errors = [line for line in errors if is_strict_path(line)]
+    other_errors = [line for line in errors if not is_strict_path(line)]
+
+    failures = 0
+    if strict_errors:
+        print(f"strict-core errors ({len(strict_errors)}) — never baselined:")
+        for line in strict_errors:
+            print(f"  {line}")
+        failures += len(strict_errors)
+
+    if args.update:
+        write_baseline([normalize(line) for line in other_errors])
+        print(
+            f"baseline rewritten: {len(other_errors)} entr(y/ies) in "
+            f"{os.path.relpath(BASELINE, REPO_ROOT)}"
+        )
+        return 1 if strict_errors else 0
+
+    baseline = load_baseline()
+    seen: Counter = Counter()
+    new_lines = []
+    for line in other_errors:
+        key = normalize(line)
+        seen[key] += 1
+        if seen[key] > baseline.get(key, 0):
+            new_lines.append(line)
+    if new_lines:
+        print(f"new type errors outside the strict core ({len(new_lines)}):")
+        for line in new_lines:
+            print(f"  {line}")
+        print("fix them, or (for deliberate debt) run: python scripts/check_mypy.py --update")
+        failures += len(new_lines)
+
+    stale = baseline - seen
+    if stale:
+        print(
+            f"note: {sum(stale.values())} baseline entr(y/ies) no longer fire; "
+            "shrink the baseline with --update"
+        )
+
+    if failures == 0:
+        print(
+            f"check_mypy: ok — 0 strict-core errors, "
+            f"{sum(seen.values())} baselined elsewhere ({len(errors)} total)"
+        )
+    return 0 if (failures == 0 or args.report_only) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -65,7 +65,7 @@ def render_curves(
         sorted_pts = sorted(pts)
         rows = [
             height - 1 - r
-            for r in _scale([y_lo] + [y for _, y in sorted_pts] + [y_hi], height)[1:-1]
+            for r in _scale([y_lo, *(y for _, y in sorted_pts), y_hi], height)[1:-1]
         ]
         cols = [x_cols[x] for x, _ in sorted_pts]
         # connect consecutive points with vertical fill for readability

@@ -1,0 +1,43 @@
+"""AST-based determinism & invariant analyzer (``repro lint``).
+
+Every result in this reproduction rests on contracts the test suite can
+only spot-check after the fact: seeded RNG streams and sim-time clocks
+(paper §4.1), bit-inert off-by-default feature configs, and pure
+picklable experiment cells.  This package turns those conventions into
+machine-checked invariants: a single stray ``time.time()``, unseeded
+``np.random`` call, or unsorted ``set`` iteration in a scheduler is
+caught at lint time instead of via a flaky golden-bytes diff.
+
+Layers:
+
+* :mod:`repro.analysis.static.diagnostics` — the :class:`Diagnostic`
+  record and the :data:`RULES` catalog (code, summary, rationale).
+* :mod:`repro.analysis.static.modulemap` — path → module identity and
+  the project policy map (sim-path modules, allowlists, hot paths).
+* :mod:`repro.analysis.static.noqa` — ``# repro: noqa RULE`` per-line
+  suppression comments.
+* :mod:`repro.analysis.static.rules_determinism` — DET001…DET004.
+* :mod:`repro.analysis.static.rules_hygiene` — CFG001, EXP001, OBS001.
+* :mod:`repro.analysis.static.engine` — file discovery, the two-pass
+  analysis run, suppression and rule selection.
+* :mod:`repro.analysis.static.report` — text / JSON rendering and the
+  ``repro lint`` entry point (exit codes 0 clean / 1 findings /
+  2 usage error, mirroring ``scripts/bench_compare.py``).
+"""
+
+from repro.analysis.static.diagnostics import RULES, Diagnostic, Rule
+from repro.analysis.static.engine import LintRun, analyze_file, analyze_paths
+from repro.analysis.static.report import main as lint_main
+from repro.analysis.static.report import render_json, render_text
+
+__all__ = [
+    "RULES",
+    "Diagnostic",
+    "LintRun",
+    "Rule",
+    "analyze_file",
+    "analyze_paths",
+    "lint_main",
+    "render_json",
+    "render_text",
+]

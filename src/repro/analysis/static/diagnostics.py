@@ -1,0 +1,157 @@
+"""Diagnostic records and the rule catalog.
+
+A :class:`Rule` is pure metadata — code, one-line summary, rationale —
+used by ``repro lint --help``-style listings, the JSON output schema,
+and the documentation generator in ``docs/static_analysis.md``.  The
+checking logic lives in the ``rules_*`` modules; keeping the catalog
+separate means the CLI can validate ``--select`` arguments without
+importing any AST machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Rule:
+    """Metadata for one lint rule."""
+
+    code: str
+    name: str
+    summary: str
+    rationale: str
+
+
+#: The full rule catalog, keyed by code.  Ordering is the report order.
+RULES: dict[str, Rule] = {
+    rule.code: rule
+    for rule in (
+        Rule(
+            code="DET001",
+            name="unseeded-rng",
+            summary=(
+                "RNG call (random.*, np.random.*, default_rng) outside "
+                "the seeded-stream module repro.sim.rng"
+            ),
+            rationale=(
+                "Every experiment derives all randomness from one root seed "
+                "via RandomStreams; any other RNG entry point breaks "
+                "reproducibility silently (paper §4.1)."
+            ),
+        ),
+        Rule(
+            code="DET002",
+            name="wall-clock-in-sim-path",
+            summary=(
+                "wall-clock read (time.time, perf_counter, datetime.now) "
+                "in sim-path code"
+            ),
+            rationale=(
+                "Simulated behaviour must depend only on the sim clock; "
+                "wall-clock reads are allowed only in the observability, "
+                "benchmark, and CLI layers where they cannot feed back "
+                "into scheduling decisions."
+            ),
+        ),
+        Rule(
+            code="DET003",
+            name="unordered-iteration",
+            summary=(
+                "iteration over a set (or set-algebra result) in a "
+                "sim/scheduling/market hot path without sorted(...)"
+            ),
+            rationale=(
+                "Set iteration order varies with hash seeding and "
+                "insertion history; in a scheduler it silently changes "
+                "tie-breaks and therefore byte-identity of results."
+            ),
+        ),
+        Rule(
+            code="DET004",
+            name="float-eq-sim-time",
+            summary="float == / != on sim-time expressions",
+            rationale=(
+                "Sim-time arithmetic accumulates float error; exact "
+                "equality on times makes behaviour depend on summation "
+                "order.  Compare with tolerances or restructure around "
+                "event identity."
+            ),
+        ),
+        Rule(
+            code="CFG001",
+            name="frozen-config-mutation",
+            summary=(
+                "attribute assignment (or object.__setattr__) on a frozen "
+                "config dataclass outside its own constructor"
+            ),
+            rationale=(
+                "Feature configs are frozen so an off-by-default config "
+                "is provably bit-inert; mutating one after construction "
+                "re-opens the door to mid-run behaviour drift."
+            ),
+        ),
+        Rule(
+            code="EXP001",
+            name="unpicklable-cell",
+            summary=(
+                "lambda / nested function passed into a CellExecutor cell "
+                "(pickle hazard at workers > 1)"
+            ),
+            rationale=(
+                "Experiment cells must be module-level callables with "
+                "picklable arguments: a closure runs fine inline but "
+                "explodes (or worse, desyncs) under the process pool."
+            ),
+        ),
+        Rule(
+            code="OBS001",
+            name="print-in-library",
+            summary="bare print() in library code",
+            rationale=(
+                "Library layers report through the metrics registry and "
+                "span exporters; stray prints corrupt the CLI's table "
+                "output and are invisible to telemetry consumers."
+            ),
+        ),
+    )
+}
+
+
+#: Names for the engine's own pseudo-codes (not part of the rule catalog).
+_ENGINE_CODES = {"E999": "parse-error", "NQA000": "stale-noqa"}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: a rule violated at a specific file/line/column."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    module: str = ""
+    suppressed: bool = field(default=False, compare=False)
+
+    def format(self) -> str:
+        """``path:line:col: CODE message`` — the text-report line."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_json(self) -> dict[str, object]:
+        rule = RULES.get(self.code)
+        name = rule.name if rule is not None else _ENGINE_CODES.get(self.code, self.code.lower())
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "name": name,
+            "message": self.message,
+            "module": self.module,
+        }
+
+
+def sort_key(diag: Diagnostic) -> tuple[str, int, int, str]:
+    """Stable report order: path, then position, then code."""
+    return (diag.path, diag.line, diag.col, diag.code)

@@ -1,0 +1,126 @@
+"""Path → module identity and the project policy map.
+
+The analyzer's rules are scoped by *module identity* (``repro.sim.rng``,
+``repro.scheduling.pool``, ``benchmarks.bench_micro``), not by raw file
+path, so the policy survives checkouts at any directory depth and the
+fixture corpus can impersonate any module via a file-level pragma::
+
+    # repro-lint: module=repro.scheduling.example
+
+(The pragma is honoured anywhere in the first ten lines; it exists for
+the test fixtures and for vendored snippets — production code should
+never need it.)
+"""
+
+from __future__ import annotations
+
+import os
+import re
+
+#: Module whose whole point is to own the project's RNG entry points.
+SEEDED_STREAM_MODULE = "repro.sim.rng"
+
+#: Packages whose code runs *inside* a simulation: behaviour here must be
+#: a pure function of (workload, seed, config).
+SIM_PATH_PREFIXES = (
+    "repro.sim",
+    "repro.scheduling",
+    "repro.market",
+    "repro.site",
+    "repro.tasks",
+    "repro.valuefn",
+    "repro.workload",
+    "repro.faults",
+    "repro.resilience",
+    "repro.resource",
+)
+
+#: Observability / measurement layers may read the wall clock: their
+#: whole job is timing the real world, and they are forbidden (by design
+#: and by the bit-identity test suite) from feeding back into sim state.
+WALL_CLOCK_ALLOWLIST_PREFIXES = (
+    "repro.obs",
+    "repro.bench",
+    "benchmarks",
+)
+
+#: Packages whose iteration order directly decides scheduling tie-breaks.
+HOT_PATH_PREFIXES = (
+    "repro.sim",
+    "repro.scheduling",
+    "repro.market",
+)
+
+#: Presentation / tooling layers where print() IS the output channel.
+PRINT_ALLOWLIST_PREFIXES = (
+    "repro.cli",
+    "repro.__main__",
+    "repro.bench",
+    "repro.analysis",  # ASCII gantt/curve renderers and the lint reporter
+    "repro.metrics.tables",
+    "scripts",
+    "benchmarks",
+    "examples",
+    "tests",
+)
+
+_PRAGMA = re.compile(r"#\s*repro-lint:\s*module=([\w.]+)")
+
+#: Top-level directories that map straight to a pseudo-package name.
+_SCRIPT_DIRS = ("benchmarks", "scripts", "examples", "tests")
+
+
+def module_pragma(source: str) -> str | None:
+    """The ``# repro-lint: module=...`` override, if present near the top."""
+    for line in source.splitlines()[:10]:
+        match = _PRAGMA.search(line)
+        if match:
+            return match.group(1)
+    return None
+
+
+def module_name_for_path(path: str) -> str:
+    """Best-effort dotted module identity for *path*.
+
+    ``.../src/repro/sim/rng.py`` → ``repro.sim.rng``;
+    ``benchmarks/bench_micro.py`` → ``benchmarks.bench_micro``;
+    a path with no recognizable root maps to its stem (so policy scoped
+    to ``repro.*`` simply does not apply).
+    """
+    normalized = os.path.normpath(path).replace(os.sep, "/")
+    parts = [p for p in normalized.split("/") if p not in ("", ".")]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts.pop()
+    for root in ("repro", *_SCRIPT_DIRS):
+        if root in parts:
+            tail = parts[parts.index(root):]
+            return ".".join(tail) if tail else root
+    return parts[-1] if parts else path
+
+
+def _under(module: str, prefixes: tuple[str, ...]) -> bool:
+    return any(module == p or module.startswith(p + ".") for p in prefixes)
+
+
+def is_repro_library(module: str) -> bool:
+    """Library code shipped in the ``repro`` package."""
+    return module == "repro" or module.startswith("repro.")
+
+
+def is_sim_path(module: str) -> bool:
+    """Code whose behaviour must be a pure function of (workload, seed)."""
+    return _under(module, SIM_PATH_PREFIXES) and not is_wall_clock_allowed(module)
+
+
+def is_wall_clock_allowed(module: str) -> bool:
+    return _under(module, WALL_CLOCK_ALLOWLIST_PREFIXES)
+
+
+def is_hot_path(module: str) -> bool:
+    return _under(module, HOT_PATH_PREFIXES)
+
+
+def is_print_allowed(module: str) -> bool:
+    return not is_repro_library(module) or _under(module, PRINT_ALLOWLIST_PREFIXES)

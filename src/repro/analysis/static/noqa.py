@@ -1,0 +1,88 @@
+"""Per-line ``# repro: noqa`` suppression comments.
+
+Syntax (the colon after ``repro`` is required, the one after ``noqa``
+optional; codes are comma- or space-separated)::
+
+    risky()  # repro: noqa DET002           -- suppress DET002 here
+    risky()  # repro: noqa: DET002, OBS001  -- suppress two rules
+    risky()  # repro: noqa                  -- suppress every rule (blanket)
+
+Suppressions are *per physical line*: a diagnostic is suppressed when a
+noqa comment on its reported line names its code (or is blanket).  The
+project convention — enforced in review, not by the tool — is that every
+noqa carries a justification in the surrounding comment.
+
+Unused suppressions are themselves reported by the engine (as NQA000
+pseudo-diagnostics) when ``--strict-noqa`` is set, so dead suppressions
+cannot accumulate.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+_NOQA = re.compile(
+    r"#\s*repro:\s*noqa(?::?\s+(?P<codes>[A-Z]+\d+(?:[,\s]+[A-Z]+\d+)*))?\s*(?:#|$)",
+)
+_CODE = re.compile(r"[A-Z]+\d+")
+
+
+@dataclass
+class Suppression:
+    """One noqa comment: the line it covers and the codes it names."""
+
+    line: int
+    codes: frozenset[str]  # empty = blanket (suppress everything)
+    used: bool = field(default=False, compare=False)
+
+    def covers(self, code: str) -> bool:
+        return not self.codes or code in self.codes
+
+
+def collect_suppressions(source: str) -> dict[int, Suppression]:
+    """Map line number → :class:`Suppression` for every noqa comment.
+
+    Comments are found with :mod:`tokenize` so string literals that
+    merely *mention* noqa (like this module's docstring) are ignored.
+    Falls back to empty on tokenization errors — the AST parse will
+    report the real syntax problem.
+    """
+    suppressions: dict[int, Suppression] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _NOQA.search(token.string)
+            if not match:
+                continue
+            raw = match.group("codes") or ""
+            codes = frozenset(_CODE.findall(raw))
+            line = token.start[0]
+            suppressions[line] = Suppression(line=line, codes=codes)
+    except tokenize.TokenError:
+        return {}
+    return suppressions
+
+
+def apply_suppressions(
+    diagnostics: list,
+    suppressions: dict[int, Suppression],
+) -> list:
+    """Split *diagnostics* into kept findings, marking used suppressions.
+
+    Returns the diagnostics whose line carries no matching noqa; each
+    matching suppression is flagged ``used`` so the engine can report
+    stale ones.
+    """
+    kept = []
+    for diag in diagnostics:
+        suppression = suppressions.get(diag.line)
+        if suppression is not None and suppression.covers(diag.code):
+            suppression.used = True
+            continue
+        kept.append(diag)
+    return kept

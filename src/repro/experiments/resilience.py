@@ -142,7 +142,8 @@ def run_resilience(
         processors=n_sites * processors_per_site,
         penalty_bound=PENALTY_BOUND,
     )
-    policies = [("disabled", ResilienceConfig())] + [
+    policies = [("disabled", ResilienceConfig())]
+    policies += [
         (
             f"budget={budget}",
             ResilienceConfig(

@@ -99,7 +99,7 @@ def check_fig4(res: FigureResult) -> list[ShapeCheck]:
     series = res.series("alpha", "improvement_pct", "decay_skew")
     checks = []
     interior_beats_extremes = []
-    for dskew, pts in series.items():
+    for _dskew, pts in series.items():
         xs = [x for x, _ in pts]
         best_alpha, best = _line_max(pts)
         end_vals = [y for x, y in pts if x in (min(xs), max(xs))]

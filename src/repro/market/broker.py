@@ -149,10 +149,9 @@ class Broker:
 
         winner = quotes[index]
         if self.vickrey and len(quotes) > 1:
-            second = sorted(
-                (q.expected_price for i, q in enumerate(quotes) if i != index),
-                reverse=True,
-            )[0]
+            second = max(
+                q.expected_price for i, q in enumerate(quotes) if i != index
+            )
             winner = ServerBid(
                 site_id=winner.site_id,
                 bid_id=winner.bid_id,

@@ -111,9 +111,9 @@ class Observability:
     def end_run(self, now: float, **summary) -> None:
         """Close the run: terminal-close any still-open spans, fold summary."""
         if self.spans is not None:
-            for tid, segment in list(self._segments.items()):
+            for _tid, segment in list(self._segments.items()):
                 self.spans.close(segment, now, truncated=True)
-            for tid, root in list(self._roots.items()):
+            for _tid, root in list(self._roots.items()):
                 self.spans.close(root, now, truncated=True)
         self._roots.clear()
         self._segments.clear()

@@ -58,7 +58,7 @@ class Event:
         self,
         time: float,
         callback: Callable[..., Any],
-        args: tuple = (),
+        args: tuple[Any, ...] = (),
         priority: int = 0,
         tag: Optional[str] = None,
         daemon: bool = False,

@@ -135,9 +135,12 @@ class Simulator:
         else:
             tag = event.tag
             family = tag.split(":", 1)[0] if tag else "untagged"
-            started = time.perf_counter()
+            # wall-clock feeds only the attached profiler, never sim state
+            started = time.perf_counter()  # repro: noqa DET002
             event.callback(*event.args)
-            self._profiler.stat(f"dispatch:{family}").add(time.perf_counter() - started)
+            self._profiler.stat(f"dispatch:{family}").add(
+                time.perf_counter() - started  # repro: noqa DET002
+            )
         return event
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:

@@ -22,12 +22,16 @@ Example
 
 from __future__ import annotations
 
-from typing import Callable, Mapping, Optional
+from typing import TYPE_CHECKING, Callable, Mapping, Optional
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.errors import SimulationError
 from repro.sim.kernel import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.site.service import TaskServiceSite
 
 Probe = Callable[[], float]
 
@@ -73,10 +77,10 @@ class PeriodicMonitor:
             raise SimulationError(f"unknown probe {name!r}; have {sorted(self._series)}")
         return list(self._series[name])
 
-    def values(self, name: str) -> np.ndarray:
+    def values(self, name: str) -> NDArray[np.float64]:
         return np.array([v for _, v in self.series(name)], dtype=float)
 
-    def stats(self, name: str) -> dict:
+    def stats(self, name: str) -> dict[str, float]:
         """Min/mean/max of one probe's samples (0s when never sampled)."""
         values = self.values(name)
         if values.size == 0:
@@ -93,7 +97,7 @@ class PeriodicMonitor:
         return max((len(s) for s in self._series.values()), default=0)
 
 
-def monitor_site(site, interval: float) -> PeriodicMonitor:
+def monitor_site(site: "TaskServiceSite", interval: float) -> PeriodicMonitor:
     """Convenience: track a site's queue length, busy nodes, and yield."""
     return PeriodicMonitor(
         site.sim,

@@ -17,11 +17,12 @@ import math
 from typing import Optional, Union
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.errors import ValueFunctionError
 from repro.valuefn.base import ValueFunction
 
-ArrayLike = Union[float, np.ndarray]
+ArrayLike = Union[float, NDArray[np.float64]]
 
 
 def linear_yield(
@@ -37,7 +38,8 @@ def linear_yield(
     kernel the scheduler's task pool calls on NumPy columns.
     """
     raw = np.asarray(value) - np.asarray(delay) * np.asarray(decay)
-    return np.maximum(raw, -np.asarray(bound))
+    floored: NDArray[np.float64] = np.maximum(raw, -np.asarray(bound))
+    return floored
 
 
 class LinearDecayValueFunction(ValueFunction):

@@ -251,5 +251,7 @@ def make_distribution(kind: str, mean: float, **kwargs) -> Distribution:
     try:
         cls = kinds[kind]
     except KeyError:
-        raise WorkloadError(f"unknown distribution kind {kind!r}; options: {sorted(kinds)}")
+        raise WorkloadError(
+            f"unknown distribution kind {kind!r}; options: {sorted(kinds)}"
+        ) from None
     return cls(mean, **kwargs)

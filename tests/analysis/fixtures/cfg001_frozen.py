@@ -1,0 +1,49 @@
+# repro-lint: module=repro.market.fixture_example
+"""CFG001 fixture: frozen config dataclasses must stay frozen."""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FixtureConfig:
+    alpha: float = 0.0
+    enabled: bool = False
+
+    def __post_init__(self) -> None:
+        # the sanctioned bypass: field normalization at construction time
+        object.__setattr__(self, "alpha", float(self.alpha))
+
+    def sneak(self) -> None:
+        object.__setattr__(self, "alpha", 2.0)  # expect: CFG001
+
+
+def mutate_param(config: FixtureConfig) -> FixtureConfig:
+    config.alpha = 1.0  # expect: CFG001
+    object.__setattr__(config, "enabled", True)  # expect: CFG001
+    return config
+
+
+def mutate_local() -> FixtureConfig:
+    config = FixtureConfig(alpha=0.5)
+    config.enabled = True  # expect: CFG001
+    return config
+
+
+def replace_is_fine(config: FixtureConfig) -> FixtureConfig:
+    # building a new value is the frozen-config idiom
+    return dataclasses.replace(config, alpha=config.alpha * 2.0)
+
+
+@dataclass
+class MutableState:
+    count: int = 0
+
+
+def mutable_is_fine(state: MutableState) -> None:
+    # only *frozen* dataclasses are policed
+    state.count += 1
+    other = MutableState()
+    other.count = 5

@@ -1,0 +1,25 @@
+# repro-lint: module=repro.scheduling.fixture_example
+"""Negative fixture: idiomatic sim-path code with zero findings."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim import Simulator
+from repro.sim.rng import RandomStreams
+
+
+@dataclass(frozen=True)
+class CleanConfig:
+    horizon: float = 100.0
+
+
+def deterministic_walk(sim: Simulator, streams: RandomStreams, config: CleanConfig) -> float:
+    stream = streams.get("clean.walk")
+    total = 0.0
+    steps = {index: float(stream.uniform()) for index in range(10)}
+    for index in sorted(steps):
+        if sim.now >= config.horizon:
+            break
+        total += steps[index]
+    return total

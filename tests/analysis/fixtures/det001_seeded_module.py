@@ -1,0 +1,10 @@
+# repro-lint: module=repro.sim.rng
+"""DET001 negative fixture: the seeded-stream module itself is exempt."""
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def make_generator(seed: int) -> np.random.Generator:
+    sequence = np.random.SeedSequence(entropy=seed)
+    return default_rng(sequence)

@@ -1,0 +1,11 @@
+# repro-lint: module=repro.obs.fixture_example
+"""DET002 negative fixture: the observability layer may read the wall clock."""
+
+import time
+from time import perf_counter
+
+
+def measure() -> float:
+    started = perf_counter()
+    time.time()
+    return perf_counter() - started

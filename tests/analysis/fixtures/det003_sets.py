@@ -1,0 +1,57 @@
+# repro-lint: module=repro.scheduling.fixture_example
+"""DET003 fixture: unordered iteration in a hot-path module."""
+
+from __future__ import annotations
+
+
+class PendingPool:
+    def __init__(self) -> None:
+        self.pending: set[int] = set()
+        self.order: list[int] = []
+
+    def drain_badly(self) -> list[int]:
+        drained = []
+        for task_id in self.pending:  # expect: DET003
+            drained.append(task_id)
+        return drained
+
+    def drain_well(self) -> list[int]:
+        # sorted(...) pins the order: no finding
+        return [task_id for task_id in sorted(self.pending)]
+
+
+def iterate_literals() -> list[int]:
+    out = [x for x in {3, 1, 2}]  # expect: DET003
+    for x in set(range(5)):  # expect: DET003
+        out.append(x)
+    for x in frozenset(out):  # expect: DET003
+        out.append(x)
+    return out
+
+
+def iterate_bindings(eligible: set[int], stale: frozenset[int]) -> list[int]:
+    survivors = eligible - stale
+    out = [task for task in survivors]  # expect: DET003
+    local = {1, 2}
+    for item in local:  # expect: DET003
+        out.append(item)
+    return out
+
+
+def view_algebra(ready: dict[int, float], running: dict[int, float]) -> list[int]:
+    both = []
+    for key in ready.keys() & running.keys():  # expect: DET003
+        both.append(key)
+    # plain dict iteration is insertion-ordered and therefore fine
+    for key in ready:
+        both.append(key)
+    for key, _value in running.items():
+        both.append(key)
+    return both
+
+
+def order_safe(eligible: set[int]) -> object:
+    # membership tests and sorted() iteration never depend on set order
+    if 3 in eligible:
+        return sorted(eligible)
+    return len(eligible)

@@ -1,0 +1,26 @@
+# repro-lint: module=repro.sim.fixture_example
+"""DET004 fixture: exact float equality on sim-time expressions."""
+
+from __future__ import annotations
+
+from repro.sim import Simulator
+from repro.tasks.task import Task
+
+
+def bad_comparisons(sim: Simulator, task: Task, now: float) -> bool:
+    if sim.now == task.deadline:  # expect: DET004
+        return True
+    if now != 10.0:  # expect: DET004
+        return False
+    return sim.now + 1.0 == task.arrival_time  # expect: DET004
+
+
+def good_comparisons(sim: Simulator, task: Task) -> bool:
+    if sim.now >= task.deadline:
+        return True
+    if abs(sim.now - task.deadline) < 1e-9:
+        return True
+    if task.deadline is None:
+        return False
+    # counters and identities compare exactly without hazard
+    return sim.events_fired == 0

@@ -1,0 +1,46 @@
+# repro-lint: module=repro.experiments.fixture_example
+"""EXP001 fixture: experiment cells must be picklable."""
+
+from __future__ import annotations
+
+from repro.experiments.parallel import CellExecutor
+
+
+def module_level_cell(seed: int) -> float:
+    return float(seed) * 2.0
+
+
+def fan_out_badly(seeds: list[int]) -> list[float]:
+    def local_cell(seed: int) -> float:
+        return float(seed)
+
+    with CellExecutor(2) as ex:
+        handles = [ex.submit(lambda: 1.0) for _ in seeds]  # expect: EXP001
+        handles.append(ex.submit(local_cell, 3))  # expect: EXP001
+        handles.append(ex.submit(module_level_cell, key=lambda s: s))  # expect: EXP001
+        return [handle.result() for handle in handles]
+
+
+def fan_out_well(seeds: list[int]) -> list[float]:
+    executor = CellExecutor(2)
+    try:
+        handles = [ex_submit_ok(executor, seed) for seed in seeds]
+        return [handle.result() for handle in handles]
+    finally:
+        executor.shutdown()
+
+
+def ex_submit_ok(executor: CellExecutor, seed: int):
+    # module-level callable with scalar args: pickles by reference
+    return executor.submit(module_level_cell, seed)
+
+
+class NotAnExecutor:
+    def submit(self, task: object) -> object:
+        return task
+
+
+def unrelated_submit_api() -> object:
+    # .submit on non-executors (task queues, sites) is out of scope
+    engine = NotAnExecutor()
+    return engine.submit(lambda: "fine here")

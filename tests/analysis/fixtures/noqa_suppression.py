@@ -1,0 +1,25 @@
+# repro-lint: module=repro.scheduling.fixture_example
+"""Suppression fixture: ``# repro: noqa`` semantics.
+
+* a code-listing noqa suppresses exactly those codes on its line,
+* a blanket noqa suppresses everything on its line,
+* a noqa naming the *wrong* code suppresses nothing relevant.
+"""
+
+import random
+import time
+
+
+def suppressed() -> float:
+    # justification: fixture demonstrating an accepted, reviewed exception
+    value = random.random()  # repro: noqa DET001
+    value += time.time()  # repro: noqa
+    return value
+
+
+def wrong_code() -> float:
+    return random.random()  # repro: noqa OBS001  # expect: DET001
+
+
+def unsuppressed() -> float:
+    return time.time()  # expect: DET002

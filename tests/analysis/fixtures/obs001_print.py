@@ -1,0 +1,22 @@
+# repro-lint: module=repro.site.fixture_example
+"""OBS001 fixture: library layers must not print.
+
+Mentioning print("like this") in a docstring is fine — only real calls
+count.
+"""
+
+from __future__ import annotations
+
+
+def noisy_accounting(value: float) -> float:
+    print(f"settled {value}")  # expect: OBS001
+    return value
+
+
+def quiet_accounting(value: float) -> float:
+    return value
+
+
+if __name__ == "__main__":
+    # demo blocks only run under `python fixture.py`: exempt
+    print(noisy_accounting(1.0))

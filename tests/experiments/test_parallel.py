@@ -136,9 +136,8 @@ class TestObservabilityGuard:
         from repro.obs import MetricsRegistry, Observability, observing
 
         obs = Observability(registry=MetricsRegistry(), spans=True, profiler=False)
-        with observing(obs):
-            with pytest.raises(ExperimentError, match="observability"):
-                CellExecutor(2)
+        with observing(obs), pytest.raises(ExperimentError, match="observability"):
+            CellExecutor(2)
 
     def test_run_experiment_obs_plus_workers_fails_fast(self):
         from repro.obs import MetricsRegistry, Observability

@@ -5,6 +5,8 @@ hand-built 'good shape' and 'bad shape' rows — without running any
 simulations.
 """
 
+from typing import ClassVar
+
 from repro.experiments import FigureResult
 from repro.experiments.runner import (
     check_fig3,
@@ -32,7 +34,7 @@ def rows_fig3(skew_to_curve):
 
 
 class TestCheckFig3:
-    GOOD = {
+    GOOD: ClassVar[dict] = {
         1.0: [(0.001, 0.0), (1.0, 0.8), (10.0, -2.0)],
         9.0: [(0.001, 0.1), (1.0, 4.0), (10.0, 3.0)],
     }
@@ -88,7 +90,7 @@ class TestCheckFig4:
 
 
 class TestCheckFig5:
-    GOOD = {
+    GOOD: ClassVar[dict] = {
         3.0: [(0.0, 15.0), (0.5, 10.0), (0.9, 8.0)],
         7.0: [(0.0, 35.0), (0.5, 28.0), (0.9, 15.0)],
     }
@@ -131,7 +133,7 @@ def rows_fig6(policy_to_curve):
 
 
 class TestCheckFig6:
-    GOOD = {
+    GOOD: ClassVar[dict] = {
         "alpha=0": [(0.5, 8.0), (4.5, 35.0)],
         "alpha=1": [(0.5, 8.0), (4.5, 31.0)],
         "firstprice-noac": [(0.5, 11.0), (4.5, -400.0)],
@@ -165,7 +167,7 @@ def rows_fig7(load_to_curve):
 
 
 class TestCheckFig7:
-    GOOD = {
+    GOOD: ClassVar[dict] = {
         0.5: [(-200.0, 2.0), (200.0, -10.0), (700.0, -50.0)],
         2.0: [(-200.0, 90.0), (200.0, 140.0), (700.0, 100.0)],
     }

@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.errors import SimulationError
+from repro.errors import SchedulingError, SimulationError
 from repro.faults import (
     AbandonRestart,
     CheckpointRestart,
@@ -141,7 +141,7 @@ class TestFactoryAndMisestimation:
 
     def test_crash_requires_running_task(self):
         t = make_task(0.0, 10.0)
-        with pytest.raises(Exception):
+        with pytest.raises(SchedulingError):
             t.crash(5.0, remaining=10.0, estimated_remaining=10.0)
 
 

@@ -49,7 +49,7 @@ class TestElasticBehaviour:
 
     def test_grows_under_profitable_backlog(self):
         sim, provider, site = build()
-        for i in range(8):
+        for _i in range(8):
             task = make_task(0.0, 100.0)
             sim.schedule_at(0.0, site.submit, task)
         sim.run()
@@ -61,7 +61,7 @@ class TestElasticBehaviour:
     def test_ignores_backlog_cheaper_than_rent(self):
         # unit gain of queued work (~0.1) below rent*margin (5*1.2)
         sim, provider, site = build(price=5.0)
-        for i in range(8):
+        for _i in range(8):
             task = make_task(0.0, 100.0, value=10.0, decay=0.01)
             sim.schedule_at(0.0, site.submit, task)
         sim.run()
@@ -70,7 +70,7 @@ class TestElasticBehaviour:
 
     def test_shrinks_back_when_idle(self):
         sim, provider, site = build()
-        for i in range(8):
+        for _i in range(8):
             sim.schedule_at(0.0, site.submit, make_task(0.0, 50.0))
         # a late straggler keeps the simulation alive past the drain so
         # review daemons get a chance to shrink the fleet
@@ -81,21 +81,21 @@ class TestElasticBehaviour:
 
     def test_respects_max_nodes(self):
         sim, provider, site = build(max_nodes=3)
-        for i in range(20):
+        for _i in range(20):
             sim.schedule_at(0.0, site.submit, make_task(0.0, 100.0))
         sim.run()
         assert site.fleet_size <= 3
 
     def test_respects_provider_stock(self):
         sim, provider, site = build(capacity=2)
-        for i in range(20):
+        for _i in range(20):
             sim.schedule_at(0.0, site.submit, make_task(0.0, 100.0))
         sim.run()
         assert site.fleet_size <= 2
 
     def test_profit_accounting(self):
         sim, provider, site = build(price=0.05)
-        for i in range(6):
+        for _i in range(6):
             sim.schedule_at(0.0, site.submit, make_task(0.0, 50.0))
         sim.run()
         rent = site.settle()

@@ -81,7 +81,7 @@ class TestMonitorSite:
         sim = Simulator()
         site = TaskServiceSite(sim, 1, FCFS())
         monitor = monitor_site(site, interval=5.0)
-        for i in range(3):
+        for _i in range(3):
             task = Task(0.0, 10.0, LinearDecayValueFunction(100.0, 1.0))
             sim.schedule_at(0.0, site.submit, task)
         sim.run()

@@ -121,7 +121,7 @@ class TestAcceptReject:
         # eventually get rejected
         sim, site = empty_site(threshold=20.0)
         decisions = []
-        for i in range(10):
+        for _i in range(10):
             t = make_task(0.0, 50.0, value=100.0, decay=2.0)
             decisions.append(site.submit(t))
         accepts = [d.accept for d in decisions]

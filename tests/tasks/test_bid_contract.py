@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import ContractViolation, MarketError
+from repro.errors import ContractViolation, MarketError, ValueFunctionError
 from repro.tasks import Contract, ServerBid, TaskBid
 
 
@@ -40,7 +40,7 @@ class TestTaskBid:
             make_bid(demand=0)
 
     def test_invalid_value_function_rejected(self):
-        with pytest.raises(Exception):
+        with pytest.raises(ValueFunctionError):
             make_bid(decay=-1.0)
 
     def test_bid_ids_unique(self):
