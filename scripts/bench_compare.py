@@ -11,7 +11,8 @@ The baseline defaults to ``BENCH_core.json`` at the repo root.  Every
 metric shared by both documents is classified by its name:
 
 * higher is better: ``*_eps`` (throughput), ``speedup_*``
-* lower is better:  ``*_us``, ``*_s`` (latencies / wall times)
+* lower is better:  ``*_us``, ``*_s`` (latencies / wall times —
+  including ``serve_roundtrip_us``, the live-service HTTP bid latency)
 
 A metric regresses when it is worse than the baseline by more than
 ``--tolerance`` (a fraction: 0.3 allows 30% degradation).  Benchmarks

@@ -1,0 +1,141 @@
+#!/usr/bin/env python
+"""CI smoke test for the live service mode (``repro serve``).
+
+Boots the service as a real OS process on an ephemeral port, drives it
+over HTTP the way a client would, and asserts the whole lifecycle:
+
+1. every submitted bid gets a negotiation outcome;
+2. every contracted task runs as a subprocess, never exceeding the
+   per-site slot cap, and settles through the value-function accounting;
+3. completion documents carry the full ``TASK_STATUS_KEYS`` schema;
+4. SIGTERM drains in-flight work and exits 0;
+5. the Chrome-trace and metrics artifacts are written and non-trivial.
+
+Usage::
+
+    python scripts/live_smoke.py [--bids 24] [--artifacts DIR]
+
+Exit status 0 on success, 1 on any failed check.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.request
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro.live.api import TASK_STATUS_KEYS  # noqa: E402
+
+RATE = 500.0
+SLOTS = 2
+
+
+def http(port: int, method: str, path: str, payload=None):
+    body = None if payload is None else json.dumps(payload).encode()
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}", data=body, method=method
+    )
+    request.add_header("Content-Type", "application/json")
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return json.loads(response.read())
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--bids", type=int, default=24)
+    parser.add_argument("--artifacts", default="artifacts")
+    args = parser.parse_args(argv)
+
+    os.makedirs(args.artifacts, exist_ok=True)
+    port_file = os.path.join(args.artifacts, "serve.port")
+    trace_out = os.path.join(args.artifacts, "live_trace.json")
+    metrics_out = os.path.join(args.artifacts, "live_metrics.json")
+
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0",
+            "--port-file", port_file,
+            "--rate", str(RATE),
+            "--slots", str(SLOTS),
+            "--drain-grace", "30",
+            "--trace-out", trace_out,
+            "--metrics-out", metrics_out,
+        ],
+        env={**os.environ, "PYTHONPATH": "src"},
+    )
+    try:
+        deadline = time.monotonic() + 20
+        while not os.path.exists(port_file):
+            if proc.poll() is not None:
+                print("FAIL: serve died at startup", file=sys.stderr)
+                return 1
+            if time.monotonic() > deadline:
+                print("FAIL: serve never wrote its port file", file=sys.stderr)
+                return 1
+            time.sleep(0.05)
+        with open(port_file) as handle:
+            port = int(handle.read())
+        print(f"live_smoke: serve listening on port {port}")
+
+        assert http(port, "GET", "/healthz") == {"ok": True}
+
+        bid = {"runtime": 4.0, "value": 50.0, "decay": 0.1}
+        results = [http(port, "POST", "/bids", {**bid, "client_id": f"smoke-{i}"})
+                   for i in range(args.bids - 4)]
+        results += http(port, "POST", "/bids", {"bids": [bid] * 4})["results"]
+        accepted = [r for r in results if r["accepted"]]
+        print(f"live_smoke: {len(accepted)}/{len(results)} bids contracted")
+        assert len(accepted) >= args.bids * 3 // 4, "too many bids declined"
+
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            status = http(port, "GET", "/status")
+            if status["tasks"].get("completed", 0) == len(accepted):
+                break
+            time.sleep(0.2)
+        else:
+            raise AssertionError(f"tasks never completed: {status['tasks']}")
+        site = status["sites"][0]
+        assert site["peak_running"] == SLOTS, f"cap violated: {site['peak_running']}"
+        assert status["revenue"] > 0, "no revenue settled"
+        assert not status["errors"], status["errors"]
+
+        tasks = http(port, "GET", "/tasks")["tasks"]
+        assert len(tasks) == len(accepted)
+        for doc in tasks:
+            assert set(doc) == TASK_STATUS_KEYS, f"schema drift: {sorted(doc)}"
+            assert doc["state"] == "completed" and doc["returncode"] == 0
+        print(f"live_smoke: {len(tasks)} tasks completed, "
+              f"revenue {status['revenue']:.2f}, peak_running {site['peak_running']}")
+
+        proc.send_signal(signal.SIGTERM)
+        code = proc.wait(timeout=60)
+        assert code == 0, f"serve exited {code} after SIGTERM"
+
+        with open(trace_out) as handle:
+            trace = json.load(handle)
+        events = trace["traceEvents"] if isinstance(trace, dict) else trace
+        assert len(events) >= len(accepted), "trace has fewer spans than tasks"
+        with open(metrics_out) as handle:
+            assert json.load(handle), "metrics snapshot is empty"
+        print(f"live_smoke: ok — clean drain, {len(events)} trace events")
+        return 0
+    except AssertionError as exc:
+        print(f"FAIL: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

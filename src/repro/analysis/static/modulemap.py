@@ -42,6 +42,12 @@ WALL_CLOCK_ALLOWLIST_PREFIXES = (
     "repro.obs",
     "repro.bench",
     "benchmarks",
+    # the live service mode *is* the wall clock: its clocks, executor,
+    # and event loop read real time by design.  The boundary holds
+    # because live code reaches the shared scheduling/market layers only
+    # through the Clock protocol (repro.sim.clock) — those layers stay
+    # in SIM_PATH_PREFIXES and stay forbidden.
+    "repro.live",
 )
 
 #: Packages whose iteration order directly decides scheduling tie-breaks.
@@ -58,6 +64,7 @@ PRINT_ALLOWLIST_PREFIXES = (
     "repro.bench",
     "repro.analysis",  # ASCII gantt/curve renderers and the lint reporter
     "repro.metrics.tables",
+    "repro.live.serve",  # the service CLI announces its address/drain on stdout
     "scripts",
     "benchmarks",
     "examples",

@@ -19,6 +19,10 @@ What is measured
   column refreshes), isolating the incremental-column bookkeeping.
 * ``fig6_cell_s`` — one seeded figure cell (trace generation + site
   simulation), the unit of work the parallel runner fans out.
+* ``serve_roundtrip_us`` — one HTTP bid→outcome roundtrip against an
+  in-process live service (``repro.live``): socket, parse, negotiate
+  (admission + pricing), respond.  Task execution runs in the
+  background and is not part of the measured path.
 * ``experiment_w{N}_s`` / ``speedup_w{N}`` — a multi-seed fig6-style
   experiment at increasing ``--workers`` counts.  Speedups are only
   meaningful when ``meta.cpu_count`` exceeds the worker count; the meta
@@ -191,6 +195,62 @@ def bench_fig6_cell(n_jobs: int = 800) -> float:
     return run()
 
 
+def bench_serve_roundtrip(n_bids: int = 20) -> float:
+    """µs per HTTP bid→outcome roundtrip against an in-process live service.
+
+    The measured path is what a client sees between POSTing a bid and
+    reading the negotiation outcome: loopback socket, request parse,
+    admission evaluation, pricing, contract formation, JSON response.
+    The awarded tasks execute as subprocesses in the background; the
+    drain that settles them runs after the clock stops.
+    """
+    import asyncio
+
+    from repro.live.config import LiveSiteSpec, default_config
+    from repro.live.httpd import start_http
+    from repro.live.service import LiveService
+
+    body = json.dumps({"runtime": 2.0, "value": 50.0, "decay": 0.1}).encode()
+    request = (
+        b"POST /bids HTTP/1.1\r\nHost: bench\r\nContent-Length: "
+        + str(len(body)).encode()
+        + b"\r\nConnection: close\r\n\r\n"
+        + body
+    )
+
+    async def run() -> float:
+        service = LiveService(
+            default_config(
+                rate=1000.0,  # 2-unit tasks are 2ms: the drain stays short
+                poll_interval=0.02,
+                sites=(LiveSiteSpec(site_id="bench-0", slots=2),),
+            )
+        )
+        await service.start()
+        server, port = await start_http(service, "127.0.0.1", 0)
+
+        async def roundtrip() -> None:
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.write(request)
+            await writer.drain()
+            await reader.read()
+            writer.close()
+            await writer.wait_closed()
+
+        await roundtrip()  # warm-up: first-connection setup costs
+        start = time.perf_counter()
+        for _ in range(n_bids):
+            await roundtrip()
+        elapsed = time.perf_counter() - start
+        server.close()
+        await server.wait_closed()
+        await service.drain()
+        await service.stop()
+        return elapsed / n_bids * 1e6
+
+    return asyncio.run(run())
+
+
 def bench_experiment(workers: int, n_jobs: int = 400, n_seeds: int = 4) -> float:
     """Seconds for a multi-seed fig6-style sweep at *workers* processes."""
     from repro.experiments.runner import run_experiment
@@ -236,6 +296,9 @@ def collect(quick: bool = False, repeats: Optional[int] = None,
         )
     results["fig6_cell_s"] = _median_of(
         lambda: bench_fig6_cell(int(800 * scale)), repeats
+    )
+    results["serve_roundtrip_us"] = _median_of(
+        lambda: bench_serve_roundtrip(8 if quick else 20), repeats
     )
 
     counts = [w for w in worker_counts if quick is False or w <= 2]

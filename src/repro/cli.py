@@ -19,7 +19,39 @@ import sys
 import time
 from typing import Optional, Sequence
 
+from repro import __version__
 from repro.experiments.runner import EXPERIMENTS, run_experiment, shape_report
+
+#: Flags shared by several subcommands, defined once so every parser
+#: shows identical help text.  ``add_shared_flag(parser, name)`` installs
+#: one; the table is the single source of truth for names/metavars/help.
+SHARED_FLAGS: dict[str, dict] = {
+    "--workers": dict(
+        type=int,
+        default=None,
+        metavar="N",
+        help="fan independent simulation cells out over N worker processes "
+        "(default: $REPRO_WORKERS or 1 = serial; results are byte-identical "
+        "at any count; incompatible with --trace-out/--metrics-out)",
+    ),
+    "--trace-out": dict(
+        default=None,
+        metavar="PATH",
+        help="write task-lifecycle spans as Chrome trace_event JSON "
+        "(loadable in ui.perfetto.dev / chrome://tracing)",
+    ),
+    "--metrics-out": dict(
+        default=None,
+        metavar="PATH",
+        help="write the metrics registry + profiling snapshot as JSON",
+    ),
+}
+
+
+def add_shared_flag(parser, name: str) -> None:
+    """Install one :data:`SHARED_FLAGS` entry on *parser*."""
+    parser.add_argument(name, **SHARED_FLAGS[name])
+
 
 #: Heuristics ``repro profile`` times (factories resolved lazily).
 PROFILE_HEURISTICS = ("fcfs", "srpt", "firstprice", "pv", "firstreward")
@@ -49,6 +81,9 @@ def _build_parser() -> argparse.ArgumentParser:
             "Reproduce 'Balancing Risk and Reward in a Market-Based Task "
             "Service' (HPDC 2004): regenerate each evaluation figure."
         ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -88,7 +123,7 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--plot", action="store_true", help="render the figure as an ASCII plot"
         )
-        _add_workers_flag(p)
+        add_shared_flag(p, "--workers")
         p.add_argument(
             "--out",
             default=DEFAULT_OUT.get(name),
@@ -96,19 +131,8 @@ def _build_parser() -> argparse.ArgumentParser:
             help="also write the result rows as JSON"
             + (" (default: %(default)s)" if name in DEFAULT_OUT else ""),
         )
-        p.add_argument(
-            "--trace-out",
-            default=None,
-            metavar="PATH",
-            help="write task-lifecycle spans as Chrome trace_event JSON "
-            "(loadable in ui.perfetto.dev / chrome://tracing)",
-        )
-        p.add_argument(
-            "--metrics-out",
-            default=None,
-            metavar="PATH",
-            help="write the metrics registry + profiling snapshot as JSON",
-        )
+        add_shared_flag(p, "--trace-out")
+        add_shared_flag(p, "--metrics-out")
 
     t = sub.add_parser("trace", help="generate and print a sample workload trace")
     t.add_argument("--n-jobs", type=int, default=20)
@@ -123,7 +147,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     c.add_argument("--n-jobs", type=int, default=1000)
     c.add_argument("--seeds", type=int, nargs="+", default=[0])
-    _add_workers_flag(c)
+    add_shared_flag(c, "--workers")
 
     s = sub.add_parser(
         "sensitivity", help="extension: workload-parameter sensitivity grids"
@@ -133,7 +157,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     s.add_argument("--n-jobs", type=int, default=1000)
     s.add_argument("--seeds", type=int, nargs="+", default=[0])
-    _add_workers_flag(s)
+    add_shared_flag(s, "--workers")
 
     b = sub.add_parser(
         "bench",
@@ -172,19 +196,19 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also print each heuristic's full timer table (dispatch families)",
     )
-    return parser
 
-
-def _add_workers_flag(parser) -> None:
-    parser.add_argument(
-        "--workers",
-        type=int,
-        default=None,
-        metavar="N",
-        help="fan independent simulation cells out over N worker processes "
-        "(default: $REPRO_WORKERS or 1 = serial; results are byte-identical "
-        "at any count; incompatible with --trace-out/--metrics-out)",
+    sv = sub.add_parser(
+        "serve",
+        help="run the market as a live HTTP service: real subprocess "
+        "execution on the wall clock, graceful SIGTERM drain "
+        "(see docs/live.md)",
     )
+    from repro.live.serve import add_serve_arguments
+
+    add_serve_arguments(sv)
+    add_shared_flag(sv, "--trace-out")
+    add_shared_flag(sv, "--metrics-out")
+    return parser
 
 
 def _make_obs(args):
@@ -424,6 +448,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.bench import main as bench_main
 
         return bench_main(quick=args.quick, out=args.out)
+    if args.command == "serve":
+        from repro.live.serve import run_serve
+
+        return run_serve(args)
     if args.command == "consolidation":
         from repro.experiments.consolidation import run_consolidation
 

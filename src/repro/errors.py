@@ -50,3 +50,7 @@ class ContractViolation(MarketError):
 
 class ExperimentError(ReproError):
     """An invalid experiment configuration."""
+
+
+class LiveServiceError(ReproError):
+    """A live-mode (wall-clock service) configuration or protocol error."""

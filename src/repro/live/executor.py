@@ -1,0 +1,154 @@
+"""Real subprocess execution for live mode.
+
+The simulator "runs" a task by scheduling a completion event; the live
+executor runs it as an actual child process.  Three responsibilities:
+
+* **Throttle** — an :class:`asyncio.Semaphore` caps concurrently running
+  children at the site's slot count.  The site only dispatches when its
+  :class:`~repro.site.processors.ProcessorPool` shows a free node, so in
+  normal operation the semaphore never blocks; it is the hard backstop
+  that no scheduling bug can fork-bomb the host.
+* **Status polling** — the executor wakes every ``poll_interval`` wall
+  seconds to check the child and the watchdog deadline, rather than
+  blocking indefinitely on ``wait()``.
+* **Timeout kill** — a child that outlives its deadline (market units,
+  measured on the live clock) is killed; the report marks it so the
+  site settles the contract as an abandonment instead of a completion.
+
+Durations cross the units/seconds boundary exactly once, here: the
+market speaks units, the kernel speaks seconds, and ``rate`` (units per
+second) converts at dispatch.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.errors import LiveServiceError
+from repro.sim.clock import Clock
+
+
+def sleep_argv(seconds: float) -> tuple[str, ...]:
+    """Default task command: sleep for the declared runtime.
+
+    A service whose contracts price *duration* owes the client nothing
+    but elapsed time; a real deployment would substitute the client's
+    workload command via the bid's ``argv``.
+    """
+    return (sys.executable, "-c", f"import time; time.sleep({max(0.0, seconds)!r})")
+
+
+@dataclass(frozen=True)
+class ExecutionReport:
+    """What happened to one subprocess run."""
+
+    returncode: Optional[int]
+    killed: bool
+    started_at: float  # market units
+    ended_at: float  # market units
+
+    @property
+    def ok(self) -> bool:
+        return self.returncode == 0 and not self.killed
+
+
+class SubprocessExecutor:
+    """Runs task commands as child processes under a concurrency cap."""
+
+    def __init__(
+        self,
+        clock: Clock,
+        rate: float,
+        max_running: int,
+        poll_interval: float = 0.05,
+    ) -> None:
+        if max_running < 1:
+            raise LiveServiceError(f"max_running must be >= 1, got {max_running!r}")
+        if not rate > 0:
+            raise LiveServiceError(f"rate must be > 0, got {rate!r}")
+        if not poll_interval > 0:
+            raise LiveServiceError(
+                f"poll_interval must be > 0, got {poll_interval!r}"
+            )
+        self.clock = clock
+        self.rate = float(rate)
+        self.max_running = max_running
+        self.poll_interval = float(poll_interval)
+        self._gate = asyncio.Semaphore(max_running)
+        self._procs: set[asyncio.subprocess.Process] = set()
+        self.running = 0
+        self.peak_running = 0
+        self.started = 0
+        self.completed = 0
+        self.killed = 0
+
+    async def run(
+        self, argv: Sequence[str], timeout_units: Optional[float]
+    ) -> ExecutionReport:
+        """Run *argv* to completion; kill it past *timeout_units*."""
+        async with self._gate:
+            self.running += 1
+            self.peak_running = max(self.peak_running, self.running)
+            self.started += 1
+            started_at = self.clock.now
+            proc = await asyncio.create_subprocess_exec(
+                *argv,
+                stdout=asyncio.subprocess.DEVNULL,
+                stderr=asyncio.subprocess.DEVNULL,
+            )
+            self._procs.add(proc)
+            killed = False
+            try:
+                waiter = asyncio.ensure_future(proc.wait())
+                try:
+                    while True:
+                        try:
+                            await asyncio.wait_for(
+                                asyncio.shield(waiter), timeout=self.poll_interval
+                            )
+                            break  # child exited
+                        except asyncio.TimeoutError:
+                            pass  # poll tick: check the watchdog below
+                        if (
+                            not killed
+                            and timeout_units is not None
+                            and self.clock.now - started_at >= timeout_units
+                        ):
+                            proc.kill()
+                            killed = True
+                            self.killed += 1
+                finally:
+                    if not waiter.done():
+                        waiter.cancel()
+            finally:
+                self._procs.discard(proc)
+                self.running -= 1
+            self.completed += 1
+            return ExecutionReport(
+                returncode=proc.returncode,
+                killed=killed,
+                started_at=started_at,
+                ended_at=self.clock.now,
+            )
+
+    def kill_all(self) -> int:
+        """Kill every live child (drain-grace expiry); returns the count.
+
+        The polling loops observe the exits and settle each task through
+        the normal failure path — this only delivers the signal.
+        """
+        count = 0
+        for proc in list(self._procs):
+            if proc.returncode is None:
+                proc.kill()
+                count += 1
+        return count
+
+    def __repr__(self) -> str:
+        return (
+            f"<SubprocessExecutor running={self.running}/{self.max_running} "
+            f"started={self.started} killed={self.killed}>"
+        )

@@ -1,0 +1,158 @@
+"""Minimal stdlib HTTP/1.1 front end for the live service.
+
+Built directly on :func:`asyncio.start_server` — no web framework, no
+new dependencies.  One connection, one request, one JSON response
+(``Connection: close``); the CLI-and-curl audience needs nothing more,
+and the transport stays small enough to audit in one sitting.
+
+Routes::
+
+    POST /bids          submit one bid or {"bids": [...]} — negotiated
+                        synchronously, returns outcome(s)
+    GET  /tasks         every contracted task's status document
+    GET  /tasks/<id>    one task's status document
+    GET  /status        service/broker/site counters
+    GET  /metrics       the observability snapshot
+    GET  /healthz       liveness probe
+
+All request handling runs on the service's event loop, so handlers may
+touch service state without locks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.live.api import ApiError, bid_result_doc, parse_bid_body, task_status_doc
+from repro.live.service import LiveService
+
+#: Largest accepted request body, bytes.
+MAX_BODY = 1 << 20
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+def _response(status: int, payload: object) -> bytes:
+    body = json.dumps(payload).encode("utf-8")
+    reason = _REASONS.get(status, "Unknown")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: close\r\n"
+        f"\r\n"
+    )
+    return head.encode("ascii") + body
+
+
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> tuple[str, str, bytes]:
+    """Parse the request line, headers, and body; raises ApiError."""
+    try:
+        request_line = await reader.readline()
+    except (ConnectionError, asyncio.LimitOverrunError) as exc:
+        raise ApiError(f"unreadable request: {exc}") from exc
+    parts = request_line.decode("ascii", "replace").split()
+    if len(parts) != 3:
+        raise ApiError(f"malformed request line: {request_line[:80]!r}")
+    method, path, _version = parts
+
+    content_length = 0
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        if name.strip().lower() == "content-length":
+            try:
+                content_length = int(value.strip())
+            except ValueError as exc:
+                raise ApiError(f"bad Content-Length: {value.strip()!r}") from exc
+    if content_length > MAX_BODY:
+        raise ApiError(f"body too large ({content_length} bytes)", status=413)
+    body = await reader.readexactly(content_length) if content_length else b""
+    return method, path, body
+
+
+def _route(service: LiveService, method: str, path: str, body: bytes) -> tuple[int, object]:
+    if method == "POST" and path == "/bids":
+        requests = parse_bid_body(body)
+        records = service.submit_bids(requests)
+        docs = [bid_result_doc(r) for r in records]
+        return 200, docs[0] if len(docs) == 1 and len(requests) == 1 else {"results": docs}
+    if method == "GET" and path == "/tasks":
+        return 200, {"tasks": [task_status_doc(r) for r in service.task_records()]}
+    if method == "GET" and path.startswith("/tasks/"):
+        raw = path[len("/tasks/") :]
+        try:
+            tid = int(raw)
+        except ValueError:
+            raise ApiError(f"task id must be an integer, got {raw!r}", status=404) from None
+        record = service.record_of_task(tid)
+        if record is None:
+            raise ApiError(f"no such task: {tid}", status=404)
+        return 200, task_status_doc(record)
+    if method == "GET" and path == "/status":
+        return 200, service.status()
+    if method == "GET" and path == "/metrics":
+        snapshot = service.obs.snapshot() if service.obs is not None else {}
+        return 200, snapshot
+    if method == "GET" and path == "/healthz":
+        return 200, {"ok": True}
+    if path in ("/bids", "/tasks", "/status", "/metrics", "/healthz") or path.startswith(
+        "/tasks/"
+    ):
+        raise ApiError(f"{method} not allowed on {path}", status=405)
+    raise ApiError(f"no such route: {path}", status=404)
+
+
+async def _handle(
+    service: LiveService,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    try:
+        try:
+            method, path, body = await _read_request(reader)
+            status, payload = _route(service, method, path, body)
+        except ApiError as exc:
+            status, payload = exc.status, {"error": str(exc)}
+        except asyncio.IncompleteReadError:
+            return  # client hung up mid-request; nothing to answer
+        except Exception as exc:  # defensive: never kill the server loop
+            status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+        writer.write(_response(status, payload))
+        await writer.drain()
+    except ConnectionError:
+        pass
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except ConnectionError:
+            pass
+
+
+async def start_http(
+    service: LiveService, host: str, port: int
+) -> tuple[asyncio.AbstractServer, int]:
+    """Bind the front end; returns the server and the actual port."""
+
+    async def handler(reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        await _handle(service, reader, writer)
+
+    server = await asyncio.start_server(handler, host=host, port=port)
+    sockets = server.sockets
+    assert sockets, "server bound no sockets"
+    actual_port: int = sockets[0].getsockname()[1]
+    return server, actual_port

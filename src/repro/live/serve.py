@@ -1,0 +1,203 @@
+"""``repro serve`` — run the market as a real service.
+
+Boots a :class:`~repro.live.service.LiveService` plus the HTTP front
+end on one asyncio loop, prints the bound address, and runs until
+SIGTERM/SIGINT.  Shutdown is a graceful drain: new bids are refused
+(503), in-flight subprocesses finish (bounded by ``--drain-grace``),
+every contract settles, then the telemetry artifacts are written and a
+final settlement summary is printed.
+
+Try it::
+
+    repro serve --port 8080 --rate 60 &
+    curl -s localhost:8080/bids -d '{"runtime": 60, "value": 10, "decay": 0.1}'
+    curl -s localhost:8080/status
+    kill -TERM %1      # drains, settles, exits 0
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import signal
+import sys
+
+from repro.live.config import LiveConfig, LiveSiteSpec
+from repro.live.httpd import start_http
+from repro.live.service import STRATEGIES, LiveService
+
+
+def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install the ``repro serve`` flag surface on *parser*."""
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="bind port (default 0 = pick an ephemeral port and print it)",
+    )
+    parser.add_argument(
+        "--rate",
+        type=float,
+        default=60.0,
+        metavar="UNITS_PER_S",
+        help="market time units per wall second (default %(default)s: one "
+        "wall second is one simulated minute)",
+    )
+    parser.add_argument(
+        "--sites", type=int, default=1, metavar="N", help="number of seller sites"
+    )
+    parser.add_argument(
+        "--slots",
+        type=int,
+        default=2,
+        metavar="N",
+        help="max concurrently running subprocesses per site",
+    )
+    parser.add_argument(
+        "--heuristic",
+        default="firstreward",
+        help="scheduling heuristic registry name (default %(default)s)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=180.0,
+        help="slack admission threshold in time units (default %(default)s, "
+        "the paper's Fig. 6 setting)",
+    )
+    parser.add_argument(
+        "--strategy",
+        choices=sorted(STRATEGIES),
+        default="best-yield",
+        help="broker quote-selection strategy",
+    )
+    parser.add_argument(
+        "--timeout-factor",
+        type=float,
+        default=10.0,
+        help="kill a subprocess past FACTOR x its declared runtime "
+        "(0 disables; default %(default)s)",
+    )
+    parser.add_argument(
+        "--max-restarts",
+        type=int,
+        default=1,
+        help="failed-run requeues before a contract is breached",
+    )
+    parser.add_argument(
+        "--drain-grace",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="wall seconds to wait for in-flight work at shutdown",
+    )
+    parser.add_argument(
+        "--port-file",
+        default=None,
+        metavar="PATH",
+        help="write the bound port number to PATH once listening "
+        "(for scripts driving an ephemeral --port 0)",
+    )
+
+
+def config_from_args(args: argparse.Namespace) -> LiveConfig:
+    if args.sites < 1:
+        raise SystemExit(f"--sites must be >= 1, got {args.sites}")
+    sites = tuple(
+        LiveSiteSpec(
+            site_id=f"live-{i}",
+            slots=args.slots,
+            heuristic=args.heuristic,
+            threshold=args.threshold,
+        )
+        for i in range(args.sites)
+    )
+    return LiveConfig(
+        host=args.host,
+        port=args.port,
+        rate=args.rate,
+        sites=sites,
+        strategy=args.strategy,
+        timeout_factor=args.timeout_factor,
+        max_restarts=args.max_restarts,
+        drain_grace=args.drain_grace,
+    )
+
+
+def _make_obs(args):
+    from repro.obs import MetricsRegistry, Observability
+
+    return Observability(
+        registry=MetricsRegistry(),
+        spans=True,
+        profiler=False,
+    )
+
+
+def _write_artifacts(obs, args) -> None:
+    if getattr(args, "trace_out", None):
+        from repro.obs import write_chrome_trace
+
+        spans = obs.spans
+        write_chrome_trace(
+            spans.finished, args.trace_out, run_of=obs.run_of, dropped=spans.dropped
+        )
+        print(f"wrote {args.trace_out} ({len(spans)} spans)")
+    if getattr(args, "metrics_out", None):
+        directory = os.path.dirname(args.metrics_out)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(args.metrics_out, "w") as handle:
+            json.dump(obs.snapshot(), handle, sort_keys=True, indent=1)
+            handle.write("\n")
+        print(f"wrote {args.metrics_out}")
+
+
+async def _serve(config: LiveConfig, args: argparse.Namespace) -> int:
+    obs = _make_obs(args)
+    obs.begin_run("live")
+    service = LiveService(config, obs=obs)
+    await service.start()
+    server, port = await start_http(service, config.host, config.port)
+    print(f"repro.live listening on http://{config.host}:{port} "
+          f"(rate {config.rate:g} units/s, {len(config.sites)} site(s) "
+          f"x {config.sites[0].slots} slot(s))")
+    sys.stdout.flush()
+    if args.port_file:
+        with open(args.port_file, "w") as handle:
+            handle.write(f"{port}\n")
+
+    shutdown = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        loop.add_signal_handler(signum, shutdown.set)
+    await shutdown.wait()
+
+    # graceful drain: refuse new bids (503), keep answering status reads
+    # while in-flight work completes, then settle everything and stop
+    print("drain: finishing in-flight work "
+          f"(grace {config.drain_grace:g}s)")
+    sys.stdout.flush()
+    await service.drain()
+    server.close()
+    await server.wait_closed()
+    await service.stop()
+    obs.end_run(service.clock.now)
+    _write_artifacts(obs, args)
+
+    status = service.status()
+    settled = sum(1 for r in service.records if r.contract is not None)
+    print(
+        f"drained: {service.broker.negotiations} negotiation(s), "
+        f"{settled} contract(s), revenue {status['revenue']:.2f}"
+    )
+    return 1 if service.errors else 0
+
+
+def run_serve(args: argparse.Namespace) -> int:
+    """Entry point for the ``repro serve`` subcommand."""
+    config = config_from_args(args)
+    return asyncio.run(_serve(config, args))

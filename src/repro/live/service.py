@@ -1,0 +1,326 @@
+"""The live service: broker + sites + dispatch loop on one event loop.
+
+:class:`LiveService` is the asyncio hub the HTTP front end talks to.
+It owns the live clock, the sites, and the unmodified
+:class:`~repro.market.broker.Broker`; a single dispatch loop moves
+queued tasks onto free slots as subprocess executions complete.
+
+Lifecycle::
+
+    service = LiveService(config, obs=obs)
+    await service.start()          # dispatch loop running
+    service.submit_bids(parsed)    # from the HTTP layer, any number
+    ...
+    await service.drain()          # 503 new bids, finish in-flight work
+    await service.stop()           # cancel the loop
+
+Draining honours ``config.drain_grace`` (wall seconds): past the grace
+period, still-running subprocesses are killed and still-queued tasks
+abandoned, so shutdown always terminates with every contract settled.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import LiveServiceError
+from repro.live.api import ApiError, BidRequest
+from repro.live.clock import WallClock
+from repro.live.config import LiveConfig
+from repro.live.executor import ExecutionReport, SubprocessExecutor
+from repro.live.site import LiveSite
+from repro.market.broker import Broker, best_surplus, best_yield, earliest_completion
+from repro.sim.clock import Clock
+from repro.tasks.bid import TaskBid
+from repro.tasks.contract import Contract
+from repro.tasks.task import Task
+
+#: Broker selection strategies by CLI/config name.
+STRATEGIES = {
+    "best-yield": best_yield,
+    "best-surplus": best_surplus,
+    "earliest": earliest_completion,
+}
+
+
+@dataclass
+class LiveRecord:
+    """Everything the API can say about one submitted bid."""
+
+    bid: TaskBid
+    submitted_at: float
+    accepted: bool
+    quotes: int
+    reason: Optional[str] = None
+    site_id: Optional[str] = None
+    task: Optional[Task] = None
+    contract: Optional[Contract] = None
+
+    @property
+    def report(self) -> Optional[ExecutionReport]:
+        return self._report
+
+    _report: Optional[ExecutionReport] = None
+
+
+class LiveService:
+    """Hosts the market on the wall clock."""
+
+    def __init__(
+        self,
+        config: LiveConfig,
+        obs=None,
+        clock: Optional[Clock] = None,
+    ) -> None:
+        try:
+            strategy = STRATEGIES[config.strategy]
+        except KeyError:
+            raise LiveServiceError(
+                f"unknown strategy {config.strategy!r}; options: "
+                f"{sorted(STRATEGIES)}"
+            ) from None
+        self.config = config
+        self.clock: Clock = clock if clock is not None else WallClock(config.rate)
+        self.obs = obs
+        self.sites: list[LiveSite] = []
+        for spec in config.sites:
+            executor = SubprocessExecutor(
+                self.clock,
+                rate=config.rate,
+                max_running=spec.slots,
+                poll_interval=config.poll_interval,
+            )
+            site = LiveSite(
+                self.clock,
+                spec,
+                executor,
+                timeout_factor=config.timeout_factor,
+                max_restarts=config.max_restarts,
+                obs=obs,
+            )
+            site.on_slot_free = self._kick
+            self.sites.append(site)
+        self.broker = Broker(self.sites, strategy=strategy, vickrey=config.vickrey)
+        self.records: list[LiveRecord] = []
+        self._record_of_task: dict[int, LiveRecord] = {}
+        self._negotiation_ids = itertools.count()
+        self.draining = False
+        #: exceptions raised by execution tasks (executor bugs, not task
+        #: failures — those settle normally); surfaced via GET /status
+        self.errors: list[str] = []
+        self._wake = asyncio.Event()
+        self._loop_task: Optional[asyncio.Task] = None
+        self._inflight: set[asyncio.Task] = set()
+        self._started_at = self.clock.now
+
+    # ------------------------------------------------------------------
+    # Intake (called by the HTTP layer, on the event loop thread)
+    # ------------------------------------------------------------------
+    def submit_bid(self, request: BidRequest) -> LiveRecord:
+        """Negotiate one bid with every site; returns its record."""
+        if self.draining:
+            raise ApiError("service is draining; not accepting bids", status=503)
+        now = self.clock.now
+        bid = TaskBid(
+            runtime=request.runtime,
+            value=request.value,
+            decay=request.decay,
+            bound=request.bound,
+            client_id=request.client_id,
+            # anchor value decay at intake: negotiation and queueing
+            # latency count as delay, the sim's brokered semantics
+            released_at=now,
+        )
+        nid = next(self._negotiation_ids)
+        if self.obs is not None:
+            self.obs.negotiation_started(nid, now)
+        outcome = self.broker.negotiate(bid)
+        if self.obs is not None:
+            quoted = {q.site_id for q in outcome.quotes}
+            for site in self.sites:
+                self.obs.negotiation_quoted(
+                    nid, site.site_id, declined=site.site_id not in quoted,
+                    now=self.clock.now,
+                )
+        record = LiveRecord(
+            bid=bid,
+            submitted_at=now,
+            accepted=outcome.accepted,
+            quotes=len(outcome.quotes),
+        )
+        if outcome.accepted:
+            assert outcome.contract is not None and outcome.winner is not None
+            record.site_id = outcome.winner.site_id
+            record.contract = outcome.contract
+            site = self._site(outcome.winner.site_id)
+            task = self._task_of_contract(site, outcome.contract)
+            record.task = task
+            self._record_of_task[task.tid] = record
+            if request.argv is not None:
+                site.set_argv(task.tid, request.argv)
+        else:
+            record.reason = (
+                "no site quoted" if not outcome.quotes else "no quote selected"
+            )
+        if self.obs is not None:
+            self.obs.negotiation_finished(
+                nid,
+                self.clock.now,
+                contracted=outcome.accepted,
+                task_id=record.task.tid if record.task is not None else None,
+                site_id=record.site_id,
+            )
+        self.records.append(record)
+        self._kick()
+        return record
+
+    def submit_bids(self, requests: list[BidRequest]) -> list[LiveRecord]:
+        return [self.submit_bid(r) for r in requests]
+
+    def _site(self, site_id: str) -> LiveSite:
+        for site in self.sites:
+            if site.site_id == site_id:
+                return site
+        raise LiveServiceError(f"no such site: {site_id!r}")
+
+    @staticmethod
+    def _task_of_contract(site: LiveSite, contract: Contract) -> Task:
+        for task in site.pool:
+            if task.tid == contract.task_tid:
+                return task
+        raise LiveServiceError(
+            f"awarded task {contract.task_tid} not queued at {site.site_id!r}"
+        )
+
+    # ------------------------------------------------------------------
+    # Dispatch loop
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        if self._loop_task is not None:
+            raise LiveServiceError("service already started")
+        self._loop_task = asyncio.create_task(self._dispatch_loop())
+
+    def _kick(self) -> None:
+        self._wake.set()
+
+    async def _dispatch_loop(self) -> None:
+        while True:
+            await self._wake.wait()
+            self._wake.clear()
+            for site in self.sites:
+                while (task := site.next_dispatch()) is not None:
+                    # claim the slot synchronously; the subprocess part
+                    # runs concurrently (see LiveSite.begin)
+                    site.begin(task)
+                    run = asyncio.create_task(site.execute(task))
+                    self._inflight.add(run)
+                    run.add_done_callback(self._run_finished)
+
+    def _run_finished(self, run: asyncio.Task) -> None:
+        self._inflight.discard(run)
+        if not run.cancelled() and run.exception() is not None:
+            # surface executor bugs instead of silently dropping the
+            # slot; the record's task stays open, visible via GET /tasks
+            self.errors.append(repr(run.exception()))
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+    @property
+    def idle(self) -> bool:
+        return all(site.idle for site in self.sites) and not self._inflight
+
+    async def drain(self) -> None:
+        """Finish in-flight work; force-settle whatever outlives grace."""
+        self.draining = True
+        self._kick()
+        grace = self.config.drain_grace
+        deadline = asyncio.get_running_loop().time() + grace
+        while not self.idle:
+            remaining = deadline - asyncio.get_running_loop().time()
+            if remaining <= 0:
+                break
+            if self._inflight:
+                await asyncio.wait(
+                    set(self._inflight),
+                    timeout=min(remaining, 0.5),
+                    return_when=asyncio.FIRST_COMPLETED,
+                )
+            else:
+                await asyncio.sleep(min(remaining, self.config.poll_interval))
+            self._kick()
+        if not self.idle:
+            # grace expired: halt dispatch first — a killed child's exit
+            # frees a slot and kicks the loop, which would otherwise
+            # start queued work we are about to abandon — then kill
+            # running children (their polling loops settle the breaches)
+            # and abandon everything still queued
+            await self.stop()
+            for site in self.sites:
+                site.executor.kill_all()
+            if self._inflight:
+                await asyncio.wait(set(self._inflight))
+            for site in self.sites:
+                site.abandon_queued()
+
+    async def stop(self) -> None:
+        if self._loop_task is not None:
+            self._loop_task.cancel()
+            try:
+                await self._loop_task
+            except asyncio.CancelledError:
+                pass
+            self._loop_task = None
+
+    # ------------------------------------------------------------------
+    # Introspection (GET /status, /tasks)
+    # ------------------------------------------------------------------
+    def record_of_task(self, task_tid: int) -> Optional[LiveRecord]:
+        record = self._record_of_task.get(task_tid)
+        if record is not None and record.task is not None:
+            record._report = self._site(record.site_id).report_of(task_tid)  # type: ignore[arg-type]
+        return record
+
+    def task_records(self) -> list[LiveRecord]:
+        return [
+            self.record_of_task(tid) or record
+            for tid, record in self._record_of_task.items()
+        ]
+
+    def status(self) -> dict:
+        from repro.live.api import API_VERSION
+
+        states: dict[str, int] = {}
+        for record in self._record_of_task.values():
+            if record.task is not None:
+                key = record.task.state.value
+                states[key] = states.get(key, 0) + 1
+        return {
+            "service": "repro.live",
+            "api": API_VERSION,
+            "now": self.clock.now,
+            "rate": self.config.rate,
+            "draining": self.draining,
+            "errors": list(self.errors),
+            "negotiations": self.broker.negotiations,
+            "rejections": self.broker.rejections,
+            "tasks": states,
+            "revenue": sum(site.revenue for site in self.sites),
+            "sites": [
+                {
+                    "site_id": site.site_id,
+                    "slots": site.processors.count,
+                    "queued": site.queued_count,
+                    "running": site.running_count,
+                    "revenue": site.revenue,
+                    "quotes_issued": site.quotes_issued,
+                    "quotes_declined": site.quotes_declined,
+                    "peak_running": site.executor.peak_running,
+                    "ledger": site.ledger.summary(),
+                }
+                for site in self.sites
+            ],
+        }

@@ -81,6 +81,8 @@ class MarketSite:
             restart_policy=restart_policy,
             obs=obs,
         )
+        #: the quoting/award clock — the engine's Clock view, shared verbatim
+        self.clock = self.engine.clock
         self.engine.finish_listeners.append(self._on_task_finished)
         self._contract_of: dict[int, Contract] = {}  # task tid -> contract
         self.contracts: list[Contract] = []
@@ -119,7 +121,7 @@ class MarketSite:
             expected_completion=decision.expected_completion,
             expected_price=self.pricing.quote(bid, decision),
             expected_slack=decision.slack,
-            expires_at=None if self.quote_ttl is None else self.sim.now + self.quote_ttl,
+            expires_at=None if self.quote_ttl is None else self.clock.now + self.quote_ttl,
         )
 
     # ------------------------------------------------------------------
@@ -136,14 +138,14 @@ class MarketSite:
             raise MarketError(
                 f"server bid for site {server_bid.site_id!r} awarded to {self.site_id!r}"
             )
-        if server_bid.expired(self.sim.now):
+        if server_bid.expired(self.clock.now):
             self.expired_awards_refused += 1
             raise MarketError(
                 f"quote for bid {server_bid.bid_id} expired at "
-                f"{server_bid.expires_at:g} (now {self.sim.now:g}); "
+                f"{server_bid.expires_at:g} (now {self.clock.now:g}); "
                 "re-solicit before awarding"
             )
-        contract = Contract(bid, server_bid, signed_at=self.sim.now)
+        contract = Contract(bid, server_bid, signed_at=self.clock.now)
         task = self._task_for(bid)
         contract.task_tid = task.tid
         self._contract_of[task.tid] = contract
@@ -154,10 +156,10 @@ class MarketSite:
     def _task_for(self, bid: TaskBid) -> Task:
         # the value function decays from the client's release time when
         # declared; otherwise from now (instant-negotiation semantics)
-        arrival = bid.released_at if bid.released_at is not None else self.sim.now
-        if arrival > self.sim.now:
+        arrival = bid.released_at if bid.released_at is not None else self.clock.now
+        if arrival > self.clock.now:
             raise MarketError(
-                f"bid {bid.bid_id} released in the future ({arrival} > {self.sim.now})"
+                f"bid {bid.bid_id} released in the future ({arrival} > {self.clock.now})"
             )
         return Task(
             arrival=arrival,
@@ -173,7 +175,7 @@ class MarketSite:
         if task.completion is None:
             raise MarketError(f"finished task {task.tid} has no completion time")
         if task.state.value == "cancelled":
-            price = contract.settle_breach(self.sim.now)
+            price = contract.settle_breach(self.clock.now)
         else:
             price = contract.settle(task.completion, release=task.arrival)
         self.revenue += price

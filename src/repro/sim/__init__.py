@@ -23,6 +23,7 @@ Layers, lowest to highest:
   for the test suite's observability hooks.
 """
 
+from repro.sim.clock import Clock, SimClock
 from repro.sim.events import Event, EventState
 from repro.sim.kernel import Simulator
 from repro.sim.process import (
@@ -42,6 +43,7 @@ from repro.sim.trace import SimTrace, TraceRecord
 __all__ = [
     "AllOf",
     "AnyOf",
+    "Clock",
     "Event",
     "EventQueue",
     "EventState",
@@ -51,6 +53,7 @@ __all__ = [
     "RandomStreams",
     "Resource",
     "Signal",
+    "SimClock",
     "SimTrace",
     "Simulator",
     "Store",

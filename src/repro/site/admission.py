@@ -103,7 +103,8 @@ class SlackAdmission:
                 "slack admission projects single-node candidate schedules; "
                 "multi-node tasks are only supported without admission control"
             )
-        now = site.sim.now
+        # the site's clock abstracts over sim vs live mode (repro.sim.clock)
+        now = site.clock.now
         # everything below works on declared quantities — the site cannot
         # see true runtimes when they are misestimated
         cols = site.pool.columns().append(

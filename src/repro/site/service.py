@@ -28,6 +28,7 @@ if TYPE_CHECKING:  # pragma: no cover - type-only import
 from repro.errors import SchedulingError
 from repro.scheduling.base import PoolColumns, SchedulingHeuristic, decay_horizons
 from repro.scheduling.pool import PendingPool
+from repro.sim.clock import Clock, SimClock
 from repro.sim.events import Event
 from repro.sim.kernel import Simulator
 from repro.site.accounting import YieldLedger
@@ -72,6 +73,11 @@ class TaskServiceSite:
         publishes nothing; every hook is guarded by one ``is not None``
         check, and instruments never touch the clock or any RNG, so an
         attached observer cannot change results.
+    clock:
+        Where the engine reads "now" from (:class:`~repro.sim.clock.Clock`).
+        Defaults to a :class:`~repro.sim.clock.SimClock` over *sim* —
+        exactly the kernel clock, bit for bit.  Only the live service
+        mode overrides this; event scheduling still goes through *sim*.
     """
 
     def __init__(
@@ -86,8 +92,10 @@ class TaskServiceSite:
         ledger: Optional[YieldLedger] = None,
         restart_policy=None,
         obs: "Optional[Observability]" = None,
+        clock: Optional[Clock] = None,
     ) -> None:
         self.sim = sim
+        self.clock: Clock = SimClock(sim) if clock is None else clock
         self.site_id = site_id
         self.heuristic = heuristic
         self.admission = admission
@@ -120,7 +128,7 @@ class TaskServiceSite:
         ``force=True`` admission control is bypassed — used by the market
         layer when a contract has already been negotiated.
         """
-        now = self.sim.now
+        now = self.clock.now
         if task.arrival > now + 1e-9:
             raise SchedulingError(
                 f"task {task.tid} submitted at {now} before its arrival {task.arrival}"
@@ -162,7 +170,7 @@ class TaskServiceSite:
     # Scheduling pass
     # ------------------------------------------------------------------
     def _schedule_pass(self) -> None:
-        now = self.sim.now
+        now = self.clock.now
         if self.discard_expired:
             self._discard_expired(now)
         # Fill idle nodes greedily by score.  Gang-scheduled tasks that do
@@ -190,7 +198,7 @@ class TaskServiceSite:
             self.obs.queue_depth(len(self.pool), self.processors.busy_count, now)
 
     def _start(self, task: Task) -> None:
-        now = self.sim.now
+        now = self.clock.now
         task.start(now)
         completion = now + task.remaining
         self.processors.assign(task, now, completion)
@@ -204,7 +212,7 @@ class TaskServiceSite:
             listener(task)
 
     def _on_completion(self, task: Task) -> None:
-        now = self.sim.now
+        now = self.clock.now
         self._completion_events.pop(task.tid, None)
         self.processors.vacate(task, now)
         task.complete(now)
@@ -241,7 +249,7 @@ class TaskServiceSite:
         population, and the shared set also makes each pass a simple
         top-k selection that provably terminates.
         """
-        now = self.sim.now
+        now = self.clock.now
         # a swap moves one task each way; the scores of a fixed task set at a
         # fixed time are stable, so at most pool+nodes swaps can occur
         guard = len(self.pool) + self.processors.count + 1
@@ -271,7 +279,7 @@ class TaskServiceSite:
                 )
 
     def _preempt(self, task: Task) -> None:
-        now = self.sim.now
+        now = self.clock.now
         event = self._completion_events.pop(task.tid)
         self.sim.cancel(event)
         self.processors.vacate(task, now)
@@ -296,7 +304,7 @@ class TaskServiceSite:
         the :class:`~repro.faults.restart.CrashOutcome` (``None`` when
         the node was idle, unknown, or already down).
         """
-        now = self.sim.now
+        now = self.clock.now
         victim = self.processors.fail(node_id)
         if victim is None:
             return None

@@ -96,6 +96,29 @@ class Contract:
         self.actual_price = floor
         return floor
 
+    def settle_abandoned(self, now: float, release: float) -> float:
+        """Settle a contract whose execution failed (live mode).
+
+        :meth:`settle_breach` covers the simulator's abandonment case —
+        bounded penalties, floor owed.  A *live* execution can also fail
+        with unbounded penalties (subprocess error, timeout kill), where
+        no floor exists; the accounting is then: the client owes nothing
+        for results never delivered, and the site owes whatever penalty
+        the value function has accrued by the abandonment instant —
+        ``min(0, price_at(now))``, which the bounded case floors at
+        ``−bound`` as usual.
+        """
+        if self.settled:
+            raise ContractViolation(f"contract {self.contract_id} already settled")
+        if not math.isfinite(now) or now < self.signed_at:
+            raise ContractViolation(
+                f"abandonment time {now!r} precedes signing at {self.signed_at!r}"
+            )
+        self.settled = True
+        self.actual_completion = float(now)
+        self.actual_price = min(0.0, self.price_at(now, release))
+        return self.actual_price
+
     @property
     def on_time(self) -> bool:
         """True if the settled completion met the promise (unset ⇒ False)."""

@@ -274,6 +274,24 @@ class Task:
         self.realized_yield = floor
         return floor
 
+    def abort(self, now: float) -> float:
+        """Abandon a task whose execution failed (live mode).
+
+        Unlike :meth:`cancel` — the simulator's expired-task discard,
+        defined only for bounded penalties — abandonment of a *failed*
+        execution is defined for any value function: the client owes
+        nothing for work never delivered, but any penalty accrued by the
+        abandonment instant still stands.  The realized yield is
+        therefore ``min(0, yield_at(delay))`` (automatically floored at
+        ``−bound`` when bounded).  Simulated runs never call this; only
+        the :mod:`repro.live` executor does, when a subprocess exits
+        non-zero or is killed at its timeout.
+        """
+        self._transition(TaskState.CANCELLED)
+        self.completion = now
+        self.realized_yield = min(0.0, self.yield_if_completed_at(now))
+        return self.realized_yield
+
     def __repr__(self) -> str:
         return (
             f"<Task {self.tid} {self.state.value} arr={self.arrival:g} "

@@ -1,0 +1,29 @@
+# repro-lint: module=repro.live.fixture_example
+"""DET002/DET003 negative fixture: live mode owns the wall clock.
+
+The live service package is allowlisted for wall-clock reads (its whole
+job is hosting the market on real time) and sits outside the hot-path
+prefixes (its asyncio bookkeeping sets never decide scheduling
+tie-breaks) — nothing below may be flagged.
+"""
+
+import time
+from time import monotonic
+
+
+class WallClockExample:
+    def __init__(self, rate: float) -> None:
+        self.rate = rate
+        self.epoch = monotonic()
+        self.inflight: set[int] = set()
+
+    @property
+    def now(self) -> float:
+        return (time.monotonic() - self.epoch) * self.rate
+
+    def drain(self) -> int:
+        # asyncio-style bookkeeping: set iteration is fine off the hot path
+        settled = 0
+        for _task_id in self.inflight:
+            settled += 1
+        return settled

@@ -1,0 +1,25 @@
+# repro-lint: module=repro.market.fixture_example
+"""DET002/DET003 boundary fixture: shared market code stays forbidden.
+
+The live-mode allowlist covers ``repro.live.*`` only.  The scheduling
+and market layers the live service *calls into* remain sim-path: they
+must read time through the site's Clock and keep iteration ordered, or
+the same code would behave differently under the DES kernel.
+"""
+
+import time
+
+
+def quote_badly(pending: set[int]) -> float:
+    expires = time.monotonic() + 30.0  # expect: DET002
+    for _bid in pending:  # expect: DET003
+        expires += 1.0
+    return expires
+
+
+def quote_well(clock_now: float, queued: list[int]) -> float:
+    # time through the Clock protocol, iteration over ordered pools
+    expires = clock_now + 30.0
+    for _bid in queued:
+        expires += 1.0
+    return expires

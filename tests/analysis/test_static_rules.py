@@ -199,6 +199,21 @@ def test_policy_predicates():
     assert not is_print_allowed("repro.site.engine")
 
 
+def test_live_mode_scoping():
+    """repro.live owns the wall clock; the shared layers it calls stay sim-path."""
+    assert not is_sim_path("repro.live.clock")
+    assert not is_sim_path("repro.live.executor")
+    assert not is_hot_path("repro.live.service")
+    # the boundary: code shared with the simulator remains forbidden
+    assert is_sim_path("repro.sim.clock")
+    assert is_sim_path("repro.market.sites")
+    assert is_sim_path("repro.site.admission")
+    # only the serve CLI prints; the library modules stay quiet
+    assert is_print_allowed("repro.live.serve")
+    assert not is_print_allowed("repro.live.service")
+    assert not is_print_allowed("repro.live.httpd")
+
+
 # ----------------------------------------------------------------------
 # CLI contract: exit codes 0 / 1 / 2, end to end
 # ----------------------------------------------------------------------

@@ -1,0 +1,110 @@
+"""SubprocessExecutor: real children, throttling, and the watchdog.
+
+No pytest-asyncio in the environment, so each test drives its own event
+loop with ``asyncio.run``.  Rates are set high (1 wall second = many
+market units) to keep real sleeps short.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+
+import pytest
+
+from repro.errors import LiveServiceError
+from repro.live.clock import WallClock
+from repro.live.executor import ExecutionReport, SubprocessExecutor, sleep_argv
+
+
+def _executor(max_running=2, rate=100.0, poll_interval=0.02):
+    clock = WallClock(rate=rate)
+    return SubprocessExecutor(
+        clock, rate=rate, max_running=max_running, poll_interval=poll_interval
+    )
+
+
+def test_clean_exit_reports_ok():
+    ex = _executor()
+    report = asyncio.run(ex.run(sleep_argv(0.0), timeout_units=None))
+    assert report.ok
+    assert report.returncode == 0
+    assert not report.killed
+    assert report.ended_at >= report.started_at
+    assert (ex.started, ex.completed, ex.killed) == (1, 1, 0)
+
+
+def test_nonzero_exit_reports_failure():
+    argv = (sys.executable, "-c", "raise SystemExit(3)")
+    report = asyncio.run(_executor().run(argv, timeout_units=None))
+    assert not report.ok
+    assert report.returncode == 3
+    assert not report.killed
+
+
+def test_watchdog_kills_overrunning_child():
+    ex = _executor(rate=100.0)  # 10 units = 0.1 wall seconds
+    argv = (sys.executable, "-c", "import time; time.sleep(30)")
+    report = asyncio.run(ex.run(argv, timeout_units=10.0))
+    assert report.killed
+    assert not report.ok
+    assert ex.killed == 1
+    # the kill fired near the deadline, not after the full 30s sleep
+    assert report.ended_at - report.started_at < 200.0
+
+
+def test_semaphore_caps_concurrency():
+    ex = _executor(max_running=2, rate=100.0)
+
+    async def burst():
+        await asyncio.gather(
+            *(ex.run(sleep_argv(0.05), timeout_units=None) for _ in range(6))
+        )
+
+    asyncio.run(burst())
+    assert ex.peak_running == 2
+    assert ex.started == ex.completed == 6
+
+
+def test_kill_all_delivers_signal_to_every_child():
+    ex = _executor(max_running=4, rate=100.0)
+
+    async def scenario():
+        jobs = [
+            asyncio.ensure_future(
+                ex.run((sys.executable, "-c", "import time; time.sleep(30)"), None)
+            )
+            for _ in range(3)
+        ]
+        while ex.running < 3:  # children still forking
+            await asyncio.sleep(0.01)
+        assert ex.kill_all() == 3
+        return await asyncio.gather(*jobs)
+
+    reports = asyncio.run(scenario())
+    # kill_all is signal delivery only — reports show non-zero exits,
+    # not `killed` (that flag is the watchdog's)
+    assert all(isinstance(r, ExecutionReport) for r in reports)
+    assert all(r.returncode != 0 for r in reports)
+    assert ex.running == 0
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"max_running": 0},
+        {"rate": 0.0},
+        {"poll_interval": 0.0},
+    ],
+)
+def test_constructor_validation(kwargs):
+    defaults = {"max_running": 2, "rate": 100.0, "poll_interval": 0.02}
+    defaults.update(kwargs)
+    with pytest.raises(LiveServiceError):
+        SubprocessExecutor(WallClock(rate=100.0), **defaults)
+
+
+def test_sleep_argv_is_runnable_and_clamped():
+    assert sleep_argv(-5.0)[0] == sys.executable
+    report = asyncio.run(_executor().run(sleep_argv(-5.0), timeout_units=None))
+    assert report.ok

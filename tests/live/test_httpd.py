@@ -1,0 +1,146 @@
+"""The HTTP front end, exercised over real loopback sockets.
+
+A tiny asyncio HTTP/1.1 client (the transport is Connection: close, so
+"read until EOF" is the whole protocol) drives every route against a
+running LiveService.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.live.api import TASK_STATUS_KEYS
+from repro.live.config import LiveSiteSpec, default_config
+from repro.live.httpd import start_http
+from repro.live.service import LiveService
+
+
+async def _request(port, method, path, payload=None):
+    body = b"" if payload is None else json.dumps(payload).encode()
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(
+        f"{method} {path} HTTP/1.1\r\n"
+        f"Host: localhost\r\nContent-Length: {len(body)}\r\n"
+        f"Connection: close\r\n\r\n".encode() + body
+    )
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    await writer.wait_closed()
+    head, _, resp_body = raw.partition(b"\r\n\r\n")
+    status = int(head.split()[1])
+    return status, json.loads(resp_body) if resp_body else None
+
+
+def _scenario(coro_fn, **config_overrides):
+    config_overrides.setdefault("rate", 200.0)
+    config_overrides.setdefault("poll_interval", 0.02)
+    config_overrides.setdefault("sites", (LiveSiteSpec(site_id="live-0", slots=2),))
+
+    async def main():
+        service = LiveService(default_config(**config_overrides))
+        await service.start()
+        server, port = await start_http(service, "127.0.0.1", 0)
+        try:
+            return await coro_fn(service, port)
+        finally:
+            server.close()
+            await server.wait_closed()
+            await service.drain()
+            await service.stop()
+
+    return asyncio.run(main())
+
+
+GOOD_BID = {"runtime": 4.0, "value": 50.0, "decay": 0.1}
+
+
+async def _wait_idle(service, timeout=10.0):
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + timeout
+    while not service.idle and loop.time() < deadline:
+        await asyncio.sleep(0.02)
+
+
+def test_bid_roundtrip_and_task_status():
+    async def steps(service, port):
+        status, doc = await _request(port, "POST", "/bids", GOOD_BID)
+        assert status == 200
+        assert doc["accepted"] is True
+        assert doc["site"] == "live-0"
+        tid = doc["task_id"]
+        await _wait_idle(service)
+        status, task_doc = await _request(port, "GET", f"/tasks/{tid}")
+        assert status == 200
+        assert set(task_doc) == TASK_STATUS_KEYS
+        assert task_doc["state"] == "completed"
+        assert task_doc["returncode"] == 0
+        status, listing = await _request(port, "GET", "/tasks")
+        assert status == 200
+        assert [t["task_id"] for t in listing["tasks"]] == [tid]
+
+    _scenario(steps)
+
+
+def test_batch_bids_and_status_route():
+    async def steps(service, port):
+        status, doc = await _request(
+            port, "POST", "/bids", {"bids": [GOOD_BID, GOOD_BID, GOOD_BID]}
+        )
+        assert status == 200
+        assert len(doc["results"]) == 3
+        assert all(r["accepted"] for r in doc["results"])
+        await _wait_idle(service)
+        status, state = await _request(port, "GET", "/status")
+        assert status == 200
+        assert state["service"] == "repro.live"
+        assert state["tasks"] == {"completed": 3}
+        assert state["sites"][0]["peak_running"] == 2  # the slot cap held
+
+    _scenario(steps)
+
+
+def test_error_statuses():
+    async def steps(service, port):
+        checks = [
+            ("POST", "/bids", {"runtime": -1, "value": 1, "decay": 0}, 400),
+            ("POST", "/bids", None, 400),  # empty body is not JSON
+            ("GET", "/tasks/999", None, 404),
+            ("GET", "/tasks/not-a-number", None, 404),
+            ("GET", "/nope", None, 404),
+            ("DELETE", "/bids", None, 405),
+            ("POST", "/status", None, 405),
+        ]
+        for method, path, payload, expected in checks:
+            status, doc = await _request(port, method, path, payload)
+            assert status == expected, (method, path, status)
+            assert "error" in doc
+
+    _scenario(steps)
+
+
+def test_healthz_and_metrics_without_obs():
+    async def steps(service, port):
+        assert await _request(port, "GET", "/healthz") == (200, {"ok": True})
+        status, snapshot = await _request(port, "GET", "/metrics")
+        assert status == 200
+        assert snapshot == {}  # no registry attached in this scenario
+
+    _scenario(steps)
+
+
+def test_draining_service_answers_503_but_still_reports():
+    async def steps(service, port):
+        status, _ = await _request(port, "POST", "/bids", GOOD_BID)
+        assert status == 200
+        await _wait_idle(service)
+        await service.drain()
+        status, doc = await _request(port, "POST", "/bids", GOOD_BID)
+        assert status == 503
+        assert "draining" in doc["error"]
+        status, state = await _request(port, "GET", "/status")
+        assert status == 200
+        assert state["draining"] is True
+
+    _scenario(steps)
