@@ -1,0 +1,169 @@
+#!/usr/bin/env python
+"""CI smoke test for the record→audit→replay pipeline.
+
+Boots ``repro serve`` with a flight recorder streaming to disk, drives a
+bid batch over HTTP, drains on SIGTERM, then closes the loop offline:
+
+1. the recording is well-formed (wall clock header, bids/awards/
+   settlements/site summaries on the record);
+2. ``repro audit`` exits 0 — the live ledger obeys every conservation
+   law — and a deliberately corrupted copy makes it exit 1;
+3. ``repro replay`` re-runs the recorded workload under the recorded
+   policy plus a risk-seeking alternative and writes the A/B table
+   artifact.
+
+Usage::
+
+    python scripts/audit_smoke.py [--bids 16] [--artifacts DIR]
+
+Exit status 0 on success, 1 on any failed check.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.request
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+ENV = {**os.environ, "PYTHONPATH": os.path.join(REPO, "src")}
+RATE = 500.0
+
+
+def http(port: int, method: str, path: str, payload=None):
+    body = None if payload is None else json.dumps(payload).encode()
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}", data=body, method=method
+    )
+    request.add_header("Content-Type", "application/json")
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return json.loads(response.read())
+
+
+def repro(*argv: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        env=ENV,
+        capture_output=True,
+        text=True,
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--bids", type=int, default=16)
+    parser.add_argument("--artifacts", default="artifacts")
+    args = parser.parse_args(argv)
+
+    os.makedirs(args.artifacts, exist_ok=True)
+    port_file = os.path.join(args.artifacts, "serve.port")
+    flight_out = os.path.join(args.artifacts, "flight.jsonl")
+    audit_out = os.path.join(args.artifacts, "audit_report.json")
+    replay_out = os.path.join(args.artifacts, "replay_ab.json")
+
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0",
+            "--port-file", port_file,
+            "--rate", str(RATE),
+            "--slots", "2",
+            "--drain-grace", "30",
+            "--flight-out", flight_out,
+        ],
+        env=ENV,
+    )
+    try:
+        deadline = time.monotonic() + 20
+        while not os.path.exists(port_file):
+            if proc.poll() is not None:
+                print("FAIL: serve died at startup", file=sys.stderr)
+                return 1
+            if time.monotonic() > deadline:
+                print("FAIL: serve never wrote its port file", file=sys.stderr)
+                return 1
+            time.sleep(0.05)
+        with open(port_file) as handle:
+            port = int(handle.read())
+        print(f"audit_smoke: serve listening on port {port}, recording to {flight_out}")
+
+        bid = {"runtime": 4.0, "value": 50.0, "decay": 0.1}
+        results = [
+            http(port, "POST", "/bids", {**bid, "client_id": f"audit-{i}"})
+            for i in range(args.bids)
+        ]
+        accepted = sum(1 for r in results if r["accepted"])
+        print(f"audit_smoke: {accepted}/{len(results)} bids contracted")
+        assert accepted > 0, "no bids contracted; nothing to audit"
+
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            status = http(port, "GET", "/status")
+            if status["tasks"].get("completed", 0) == accepted:
+                break
+            time.sleep(0.2)
+        else:
+            raise AssertionError(f"tasks never completed: {status['tasks']}")
+
+        proc.send_signal(signal.SIGTERM)
+        code = proc.wait(timeout=60)
+        assert code == 0, f"serve exited {code} after SIGTERM"
+
+        # --- audit: the live ledger must be clean --------------------
+        audit = repro("audit", flight_out, "--out", audit_out)
+        print(audit.stdout, end="")
+        assert audit.returncode == 0, f"repro audit exited {audit.returncode}"
+        with open(audit_out) as handle:
+            report = json.load(handle)
+        assert report["ok"] and report["clock"] == "wall"
+        assert report["counts"]["bids"] == args.bids
+        assert report["counts"]["settlements"] == accepted
+
+        # --- audit must also CATCH a cooked ledger -------------------
+        corrupted = os.path.join(args.artifacts, "flight_corrupted.jsonl")
+        with open(flight_out) as handle:
+            lines = handle.read().splitlines()
+        duplicate = next(l for l in lines if '"settlement"' in l)
+        with open(corrupted, "w") as handle:
+            handle.write("\n".join(lines + [duplicate]) + "\n")
+        cooked = repro("audit", corrupted)
+        assert cooked.returncode == 1, (
+            f"audit missed the cooked ledger (exit {cooked.returncode})"
+        )
+        assert "duplicate_settlement" in cooked.stdout
+        print("audit_smoke: corrupted ledger correctly rejected")
+
+        # --- replay: A/B the recorded policy vs a risk-seeker --------
+        replay = repro(
+            "replay", flight_out,
+            "--policy", "recorded",
+            "--policy", "risky:threshold=0",
+            "--out", replay_out,
+        )
+        print(replay.stdout, end="")
+        assert replay.returncode == 0, f"repro replay exited {replay.returncode}"
+        with open(replay_out) as handle:
+            doc = json.load(handle)
+        rows = {row["policy"] for row in doc["table"]}
+        assert rows == {"recorded", "risky"}, rows
+        assert doc["divergence"]["recorded"]["changed_bids"] == 0, (
+            "same-policy replay diverged from the recording"
+        )
+        print("audit_smoke: ok — recording audited clean and replayed under 2 policies")
+        return 0
+    except AssertionError as exc:
+        print(f"FAIL: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -114,6 +114,21 @@ RULES: dict[str, Rule] = {
                 "output and are invisible to telemetry consumers."
             ),
         ),
+        Rule(
+            code="OBS002",
+            name="clock-read-in-recorder",
+            summary=(
+                "wall-clock read in a timestamp-passive observability "
+                "module (repro.obs.flight/prom, repro.audit, repro.replay)"
+            ),
+            rationale=(
+                "The flight recorder, Prometheus renderer, auditor, and "
+                "replayer consume timestamps their callers pass from "
+                "clock.now; reading a clock directly would tie recordings "
+                "to the recording machine's wall time and break sim/live "
+                "symmetry.  Wall time is owned by repro.live alone."
+            ),
+        ),
     )
 }
 

@@ -28,6 +28,7 @@ from repro.analysis.static.rules_hygiene import (
     check_cfg001,
     check_exp001,
     check_obs001,
+    check_obs002,
     frozen_dataclass_names,
 )
 
@@ -45,6 +46,7 @@ CHECKS: dict[str, Callable[[FileContext], list[Diagnostic]]] = {
     "CFG001": check_cfg001,
     "EXP001": check_exp001,
     "OBS001": check_obs001,
+    "OBS002": check_obs002,
 }
 
 #: Pseudo-codes emitted by the engine itself (not selectable, never

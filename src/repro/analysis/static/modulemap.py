@@ -57,6 +57,18 @@ HOT_PATH_PREFIXES = (
     "repro.market",
 )
 
+#: Timestamp-passive observability modules: they *consume* timestamps
+#: (callers pass ``t`` from their own ``clock.now``) but must never read
+#: a clock themselves — that keeps the flight-recorder/audit/replay
+#: pipeline replayable in either clock domain, with wall time owned by
+#: ``repro.live`` alone.
+TIMESTAMP_PASSIVE_PREFIXES = (
+    "repro.obs.flight",
+    "repro.obs.prom",
+    "repro.audit",
+    "repro.replay",
+)
+
 #: Presentation / tooling layers where print() IS the output channel.
 PRINT_ALLOWLIST_PREFIXES = (
     "repro.cli",
@@ -65,6 +77,8 @@ PRINT_ALLOWLIST_PREFIXES = (
     "repro.analysis",  # ASCII gantt/curve renderers and the lint reporter
     "repro.metrics.tables",
     "repro.live.serve",  # the service CLI announces its address/drain on stdout
+    "repro.audit",  # `repro audit` writes its report to stdout
+    "repro.replay",  # `repro replay` writes its A/B table to stdout
     "scripts",
     "benchmarks",
     "examples",
@@ -131,3 +145,8 @@ def is_hot_path(module: str) -> bool:
 
 def is_print_allowed(module: str) -> bool:
     return not is_repro_library(module) or _under(module, PRINT_ALLOWLIST_PREFIXES)
+
+
+def is_timestamp_passive(module: str) -> bool:
+    """Observability code that takes timestamps as arguments, never reads them."""
+    return _under(module, TIMESTAMP_PASSIVE_PREFIXES)

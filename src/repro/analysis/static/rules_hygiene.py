@@ -1,4 +1,4 @@
-"""Invariant-hygiene rules CFG001, EXP001, OBS001."""
+"""Invariant-hygiene rules CFG001, EXP001, OBS001, OBS002."""
 
 from __future__ import annotations
 
@@ -13,7 +13,11 @@ from repro.analysis.static.astutils import (
     nested_function_names,
 )
 from repro.analysis.static.diagnostics import Diagnostic
-from repro.analysis.static.modulemap import is_print_allowed, is_repro_library
+from repro.analysis.static.modulemap import (
+    is_print_allowed,
+    is_repro_library,
+    is_timestamp_passive,
+)
 
 # ----------------------------------------------------------------------
 # CFG001 — frozen-config mutation
@@ -319,6 +323,48 @@ def check_obs001(ctx: FileContext) -> list[Diagnostic]:
                 module=ctx.module,
             )
         )
+    return findings
+
+
+# ----------------------------------------------------------------------
+# OBS002 — clock reads in timestamp-passive observability modules
+# ----------------------------------------------------------------------
+
+
+def check_obs002(ctx: FileContext) -> list[Diagnostic]:
+    """Wall-clock reads in the recorder/audit/replay pipeline.
+
+    These modules sit *inside* the wall-clock-allowlisted ``repro.obs``
+    umbrella (DET002 does not apply there), yet their contract is
+    stricter than the sim path's: they must not read any clock at all.
+    Timestamps arrive as arguments from the caller's ``clock.now``, so a
+    recording replays identically in either clock domain.
+    """
+    from repro.analysis.static.rules_determinism import _WALL_CLOCK_CALLS
+
+    if not is_timestamp_passive(ctx.module):
+        return []
+    findings = []
+    for node in ctx.walk():
+        if not isinstance(node, ast.Call):
+            continue
+        qualified = ctx.imports.resolve(node.func)
+        if qualified in _WALL_CLOCK_CALLS:
+            findings.append(
+                Diagnostic(
+                    path=ctx.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    code="OBS002",
+                    message=(
+                        f"wall-clock read {qualified}() in timestamp-passive "
+                        f"module {ctx.module}; accept t as a parameter from "
+                        "the caller's clock.now (wall time belongs to "
+                        "repro.live)"
+                    ),
+                    module=ctx.module,
+                )
+            )
     return findings
 
 

@@ -1,0 +1,337 @@
+"""Double-entry economic audit over a market flight recording.
+
+The market's money flow obeys a handful of conservation laws: a task's
+value is created exactly once (at bid), an award needs an issued quote,
+a contract settles exactly once, a breach refund never hands the client
+more than it committed plus the site's penalty, and every site's
+recorded settlements must reconcile with its closing books to the cent.
+``repro audit`` replays a recording's ledger against those laws and
+reports machine-readable violations — generalizing the resilience
+layer's conservation property (value settles exactly once) into a
+runtime auditor usable on any recording, sim or live.
+
+Violation codes::
+
+    duplicate_bid            bid_id recorded twice — value created twice
+    quote_unknown_bid        quote references a bid never recorded
+    award_unknown_bid        award references a bid never recorded
+    award_without_quote      award with no issued quote from that site
+    award_above_quote        agreed price exceeds the quoted price
+    duplicate_award          contract_id awarded twice
+    settlement_without_award settlement for an unknown contract
+    duplicate_settlement     contract settled twice
+    settlement_exceeds_value settled price exceeds the bid's value
+    settlement_price_drift   completed price != value function's price
+    refund_exceeds_commitment breach/abandon settles above committed spend
+    unsettled_contract       award whose contract never settled
+    revenue_mismatch         site summary revenue != sum of settlements
+    contract_count_mismatch  site summary contract count != awards seen
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from dataclasses import dataclass, field
+
+from repro.obs.flight import Recording, read_recording
+
+#: Bump when the violation-report layout changes incompatibly.
+AUDIT_SCHEMA = 1
+
+#: "To the cent": reconciliation tolerance for money sums.
+CENT = 0.005
+
+#: Relative tolerance for recomputed single prices (float round-trip).
+_REL = 1e-9
+
+
+@dataclass
+class AuditReport:
+    """The outcome of auditing one recording."""
+
+    clock: str
+    counts: dict = field(default_factory=dict)
+    violations: list[dict] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def add(self, code: str, message: str, **context: object) -> None:
+        self.violations.append({"code": code, "message": message, **context})
+
+    def to_doc(self) -> dict:
+        return {
+            "schema": AUDIT_SCHEMA,
+            "ok": self.ok,
+            "clock": self.clock,
+            "counts": self.counts,
+            "violations": self.violations,
+        }
+
+    def format(self) -> str:
+        lines = [
+            f"audit: {self.counts.get('bids', 0)} bids, "
+            f"{self.counts.get('quotes', 0)} quotes, "
+            f"{self.counts.get('awards', 0)} awards, "
+            f"{self.counts.get('settlements', 0)} settlements "
+            f"({self.clock} clock)"
+        ]
+        if self.ok:
+            lines.append("audit: ledger is clean — every invariant holds")
+        else:
+            lines.append(f"audit: {len(self.violations)} violation(s)")
+            for violation in self.violations:
+                context = {
+                    k: v
+                    for k, v in violation.items()
+                    if k not in ("code", "message")
+                }
+                suffix = f"  {context}" if context else ""
+                lines.append(f"  [{violation['code']}] {violation['message']}{suffix}")
+        return "\n".join(lines)
+
+
+def _price_of(bid: dict, completion: float, release: float) -> float:
+    """Recompute the contract price from the bid's value function."""
+    from repro.valuefn.linear import LinearDecayValueFunction
+
+    bound = bid.get("bound")
+    vf = LinearDecayValueFunction(
+        bid["value"], bid["decay"], None if bound is None else bound
+    )
+    delay = max(0.0, completion - release - bid["runtime"])
+    return vf.yield_at(delay)
+
+
+def audit_recording(recording: Recording) -> AuditReport:
+    """Check every economic invariant over *recording*'s ledger."""
+    report = AuditReport(clock=recording.clock)
+
+    bids: dict[int, dict] = {}
+    for event in recording.of_kind("bid"):
+        bid_id = event["bid_id"]
+        if bid_id in bids:
+            report.add(
+                "duplicate_bid",
+                f"bid {bid_id} recorded twice — task value created twice",
+                bid_id=bid_id,
+                seq=event["seq"],
+            )
+        else:
+            bids[bid_id] = event
+
+    # issued quotes by (site, bid): the precondition for any award
+    quoted_price: dict[tuple[str, int], float] = {}
+    quotes = recording.of_kind("quote")
+    for event in quotes:
+        if event["bid_id"] not in bids:
+            report.add(
+                "quote_unknown_bid",
+                f"quote from {event['site_id']} references unknown bid "
+                f"{event['bid_id']}",
+                bid_id=event["bid_id"],
+                site_id=event["site_id"],
+                seq=event["seq"],
+            )
+        if event["verdict"] == "issued":
+            key = (event["site_id"], event["bid_id"])
+            price = event["price"]
+            quoted_price[key] = max(quoted_price.get(key, -math.inf), price)
+
+    awards: dict[int, dict] = {}
+    awards_by_site: dict[str, int] = {}
+    for event in recording.of_kind("award"):
+        bid_id = event["bid_id"]
+        site_id = event["site_id"]
+        if bid_id not in bids:
+            report.add(
+                "award_unknown_bid",
+                f"award of unknown bid {bid_id} to {site_id}",
+                bid_id=bid_id,
+                site_id=site_id,
+                seq=event["seq"],
+            )
+        key = (site_id, bid_id)
+        if key not in quoted_price:
+            report.add(
+                "award_without_quote",
+                f"bid {bid_id} awarded to {site_id} with no issued quote on record",
+                bid_id=bid_id,
+                site_id=site_id,
+                seq=event["seq"],
+            )
+        elif event["agreed_price"] > quoted_price[key] + CENT:
+            report.add(
+                "award_above_quote",
+                f"contract {event['contract_id']} agreed at "
+                f"{event['agreed_price']:.4f} > quoted {quoted_price[key]:.4f} "
+                "(pricing may only hold or lower the quote)",
+                contract_id=event["contract_id"],
+                site_id=site_id,
+                seq=event["seq"],
+            )
+        contract_id = event["contract_id"]
+        if contract_id in awards:
+            report.add(
+                "duplicate_award",
+                f"contract {contract_id} awarded twice",
+                contract_id=contract_id,
+                seq=event["seq"],
+            )
+        else:
+            awards[contract_id] = event
+            awards_by_site[site_id] = awards_by_site.get(site_id, 0) + 1
+
+    settled: set[int] = set()
+    revenue_by_site: dict[str, float] = {}
+    settlements = recording.of_kind("settlement")
+    for event in settlements:
+        contract_id = event["contract_id"]
+        award = awards.get(contract_id)
+        if award is None:
+            report.add(
+                "settlement_without_award",
+                f"settlement of unknown contract {contract_id}",
+                contract_id=contract_id,
+                seq=event["seq"],
+            )
+        if contract_id in settled:
+            report.add(
+                "duplicate_settlement",
+                f"contract {contract_id} settled twice — value settles once",
+                contract_id=contract_id,
+                seq=event["seq"],
+            )
+            continue
+        settled.add(contract_id)
+        price = event["price"]
+        site_id = event["site_id"]
+        revenue_by_site[site_id] = revenue_by_site.get(site_id, 0.0) + price
+        bid = bids.get(event["bid_id"])
+        if bid is None:
+            continue  # already reported via the award/quote checks
+        tolerance = max(CENT, abs(bid["value"]) * _REL)
+        if price > bid["value"] + tolerance:
+            report.add(
+                "settlement_exceeds_value",
+                f"contract {contract_id} settled at {price:.4f} > bid value "
+                f"{bid['value']:.4f} — value cannot be created at settlement",
+                contract_id=contract_id,
+                seq=event["seq"],
+            )
+        if event["outcome"] == "completed":
+            release = bid.get("released_at")
+            if release is None:
+                release = bid["t"]
+            expected = _price_of(bid, event["completion"], release)
+            if abs(price - expected) > tolerance:
+                report.add(
+                    "settlement_price_drift",
+                    f"contract {contract_id} settled at {price:.4f}, value "
+                    f"function prices its completion at {expected:.4f}",
+                    contract_id=contract_id,
+                    seq=event["seq"],
+                )
+        else:  # breached / abandoned
+            committed = max(0.0, event["agreed_price"])
+            if price > committed + tolerance:
+                report.add(
+                    "refund_exceeds_commitment",
+                    f"contract {contract_id} {event['outcome']} yet settled at "
+                    f"{price:.4f} > committed spend {committed:.4f} — the "
+                    "client would be refunded value it never committed",
+                    contract_id=contract_id,
+                    seq=event["seq"],
+                )
+
+    for contract_id, award in sorted(awards.items()):
+        if contract_id not in settled:
+            report.add(
+                "unsettled_contract",
+                f"contract {contract_id} (bid {award['bid_id']} at "
+                f"{award['site_id']}) never settled",
+                contract_id=contract_id,
+                site_id=award["site_id"],
+            )
+
+    summaries = recording.of_kind("site_summary")
+    for event in summaries:
+        site_id = event["site_id"]
+        recorded = revenue_by_site.get(site_id, 0.0)
+        if abs(event["revenue"] - recorded) > CENT:
+            report.add(
+                "revenue_mismatch",
+                f"site {site_id} closing revenue {event['revenue']:.4f} != "
+                f"{recorded:.4f} summed from its settlements",
+                site_id=site_id,
+                seq=event["seq"],
+            )
+        awarded = awards_by_site.get(site_id, 0)
+        if event["contracts"] != awarded:
+            report.add(
+                "contract_count_mismatch",
+                f"site {site_id} closing books show {event['contracts']} "
+                f"contracts, recording has {awarded} awards",
+                site_id=site_id,
+                seq=event["seq"],
+            )
+
+    report.counts = {
+        "bids": len(bids),
+        "quotes": len(quotes),
+        "quotes_issued": sum(1 for q in quotes if q["verdict"] == "issued"),
+        "awards": len(awards),
+        "settlements": len(settlements),
+        "sites": len(summaries),
+        "total_revenue": sum(revenue_by_site.values()),
+    }
+    return report
+
+
+# ----------------------------------------------------------------------
+# CLI (`repro audit`)
+# ----------------------------------------------------------------------
+
+def add_audit_arguments(parser) -> None:
+    parser.add_argument("recording", help="flight-recorder JSONL file to audit")
+    parser.add_argument(
+        "--format", choices=["text", "json"], default="text", dest="fmt"
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="PATH", help="also write the report as JSON"
+    )
+
+
+def run_audit(args) -> int:
+    """Entry point for ``repro audit``: 0 clean, 1 violations, 2 unreadable."""
+    try:
+        recording = read_recording(args.recording)
+    except (OSError, ValueError) as exc:
+        print(f"audit: cannot read recording: {exc}")
+        return 2
+    report = audit_recording(recording)
+    if args.fmt == "json":
+        print(json.dumps(report.to_doc(), sort_keys=True, indent=1))
+    else:
+        print(report.format())
+    if args.out:
+        directory = os.path.dirname(args.out)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(args.out, "w") as handle:
+            json.dump(report.to_doc(), handle, sort_keys=True, indent=1)
+            handle.write("\n")
+        print(f"wrote {args.out}")
+    return 0 if report.ok else 1
+
+
+__all__ = [
+    "AUDIT_SCHEMA",
+    "AuditReport",
+    "audit_recording",
+    "add_audit_arguments",
+    "run_audit",
+]

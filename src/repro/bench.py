@@ -23,6 +23,11 @@ What is measured
   in-process live service (``repro.live``): socket, parse, negotiate
   (admission + pricing), respond.  Task execution runs in the
   background and is not part of the measured path.
+* ``flight_record_overhead`` — relative wall-clock cost of running a
+  market with the flight recorder attached (in-memory sink) versus
+  disabled, as a ratio (1.03 = 3% slower).  The recorder's contract is
+  ≤5% overhead and byte-identical results; this benchmark asserts the
+  identity and measures the ratio.
 * ``experiment_w{N}_s`` / ``speedup_w{N}`` — a multi-seed fig6-style
   experiment at increasing ``--workers`` counts.  Speedups are only
   meaningful when ``meta.cpu_count`` exceeds the worker count; the meta
@@ -251,6 +256,50 @@ def bench_serve_roundtrip(n_bids: int = 20) -> float:
     return asyncio.run(run())
 
 
+def bench_flight_overhead(n_jobs: int = 600) -> float:
+    """Recorder-on / recorder-off wall-time ratio for one market run.
+
+    Both runs use the same trace and configuration; the recorded run
+    streams to the in-memory sink (the file sink adds I/O the disabled
+    path never pays, so the ratio isolates the recording cost itself).
+    Asserts the two runs settle identical revenue — the recorder must be
+    an observer, never a participant.
+    """
+    from repro.market.economy import run_market
+    from repro.market.sites import MarketSite
+    from repro.obs.flight import FlightRecorder
+    from repro.scheduling.firstreward import FirstReward
+    from repro.sim.kernel import Simulator
+    from repro.site.admission import SlackAdmission
+    from repro.workload.generator import generate_trace
+    from repro.workload.millennium import economy_spec
+
+    trace = generate_trace(economy_spec(n_jobs=n_jobs, load_factor=2.0), seed=0)
+
+    def one_run(flight) -> tuple[float, float]:
+        sim = Simulator()
+        sites = [
+            MarketSite(
+                sim,
+                site_id=f"bench-{i}",
+                processors=8,
+                heuristic=FirstReward(0.3, 0.01),
+                admission=SlackAdmission(threshold=60.0),
+            )
+            for i in range(2)
+        ]
+        start = time.perf_counter()
+        result = run_market(trace, sites, flight=flight)
+        return time.perf_counter() - start, result.total_revenue
+
+    plain_s, plain_revenue = one_run(None)
+    recorded_s, recorded_revenue = one_run(FlightRecorder(clock_domain="sim"))
+    assert recorded_revenue == plain_revenue, (
+        f"flight recorder changed the outcome: {recorded_revenue!r} != {plain_revenue!r}"
+    )
+    return recorded_s / plain_s
+
+
 def bench_experiment(workers: int, n_jobs: int = 400, n_seeds: int = 4) -> float:
     """Seconds for a multi-seed fig6-style sweep at *workers* processes."""
     from repro.experiments.runner import run_experiment
@@ -299,6 +348,9 @@ def collect(quick: bool = False, repeats: Optional[int] = None,
     )
     results["serve_roundtrip_us"] = _median_of(
         lambda: bench_serve_roundtrip(8 if quick else 20), repeats
+    )
+    results["flight_record_overhead"] = _median_of(
+        lambda: bench_flight_overhead(int(600 * scale) or 150), repeats
     )
 
     counts = [w for w in worker_counts if quick is False or w <= 2]

@@ -208,6 +208,26 @@ def _build_parser() -> argparse.ArgumentParser:
     add_serve_arguments(sv)
     add_shared_flag(sv, "--trace-out")
     add_shared_flag(sv, "--metrics-out")
+
+    au = sub.add_parser(
+        "audit",
+        help="check a flight recording's economic ledger: value created "
+        "once, settled once, refunds bounded, revenue reconciled "
+        "(exit 0 clean / 1 violations / 2 unreadable)",
+    )
+    from repro.audit import add_audit_arguments
+
+    add_audit_arguments(au)
+
+    rp = sub.add_parser(
+        "replay",
+        help="reconstruct a recording's workload and re-run it through the "
+        "simulator under alternative policies; prints an A/B table and "
+        "divergence report",
+    )
+    from repro.replay import add_replay_arguments
+
+    add_replay_arguments(rp)
     return parser
 
 
@@ -452,6 +472,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.live.serve import run_serve
 
         return run_serve(args)
+    if args.command == "audit":
+        from repro.audit import run_audit
+
+        return run_audit(args)
+    if args.command == "replay":
+        from repro.replay import run_replay
+
+        return run_replay(args)
     if args.command == "consolidation":
         from repro.experiments.consolidation import run_consolidation
 

@@ -12,7 +12,9 @@ Routes::
     GET  /tasks         every contracted task's status document
     GET  /tasks/<id>    one task's status document
     GET  /status        service/broker/site counters
-    GET  /metrics       the observability snapshot
+    GET  /metrics       observability snapshot + windowed rates; served
+                        as Prometheus text when the client sends
+                        ``Accept: text/plain``, JSON otherwise
     GET  /healthz       liveness probe
 
 All request handling runs on the service's event loop, so handlers may
@@ -26,6 +28,7 @@ import json
 
 from repro.live.api import ApiError, bid_result_doc, parse_bid_body, task_status_doc
 from repro.live.service import LiveService
+from repro.obs.prom import PROMETHEUS_CONTENT_TYPE, prometheus_text
 
 #: Largest accepted request body, bytes.
 MAX_BODY = 1 << 20
@@ -41,12 +44,21 @@ _REASONS = {
 }
 
 
+class _PlainText(str):
+    """Marker: a route payload already rendered as Prometheus text."""
+
+
 def _response(status: int, payload: object) -> bytes:
-    body = json.dumps(payload).encode("utf-8")
+    if isinstance(payload, _PlainText):
+        body = payload.encode("utf-8")
+        content_type = PROMETHEUS_CONTENT_TYPE
+    else:
+        body = json.dumps(payload).encode("utf-8")
+        content_type = "application/json"
     reason = _REASONS.get(status, "Unknown")
     head = (
         f"HTTP/1.1 {status} {reason}\r\n"
-        f"Content-Type: application/json\r\n"
+        f"Content-Type: {content_type}\r\n"
         f"Content-Length: {len(body)}\r\n"
         f"Connection: close\r\n"
         f"\r\n"
@@ -56,7 +68,7 @@ def _response(status: int, payload: object) -> bytes:
 
 async def _read_request(
     reader: asyncio.StreamReader,
-) -> tuple[str, str, bytes]:
+) -> tuple[str, str, bytes, str]:
     """Parse the request line, headers, and body; raises ApiError."""
     try:
         request_line = await reader.readline()
@@ -68,23 +80,29 @@ async def _read_request(
     method, path, _version = parts
 
     content_length = 0
+    accept = ""
     while True:
         line = await reader.readline()
         if line in (b"\r\n", b"\n", b""):
             break
         name, _, value = line.decode("latin-1").partition(":")
-        if name.strip().lower() == "content-length":
+        header = name.strip().lower()
+        if header == "content-length":
             try:
                 content_length = int(value.strip())
             except ValueError as exc:
                 raise ApiError(f"bad Content-Length: {value.strip()!r}") from exc
+        elif header == "accept":
+            accept = value.strip()
     if content_length > MAX_BODY:
         raise ApiError(f"body too large ({content_length} bytes)", status=413)
     body = await reader.readexactly(content_length) if content_length else b""
-    return method, path, body
+    return method, path, body, accept
 
 
-def _route(service: LiveService, method: str, path: str, body: bytes) -> tuple[int, object]:
+def _route(
+    service: LiveService, method: str, path: str, body: bytes, accept: str = ""
+) -> tuple[int, object]:
     if method == "POST" and path == "/bids":
         requests = parse_bid_body(body)
         records = service.submit_bids(requests)
@@ -106,7 +124,14 @@ def _route(service: LiveService, method: str, path: str, body: bytes) -> tuple[i
         return 200, service.status()
     if method == "GET" and path == "/metrics":
         snapshot = service.obs.snapshot() if service.obs is not None else {}
-        return 200, snapshot
+        rates = service.rate_snapshot()
+        if "text/plain" in accept.lower():
+            gauges = {f"service.{key}": value for key, value in rates.items()}
+            # The obs snapshot nests instruments under "metrics" next to
+            # runs/spans/profile sections; the exposition wants instruments only.
+            instruments = snapshot.get("metrics", snapshot)
+            return 200, _PlainText(prometheus_text(instruments, extra_gauges=gauges))
+        return 200, {"metrics": snapshot, "rates": rates}
     if method == "GET" and path == "/healthz":
         return 200, {"ok": True}
     if path in ("/bids", "/tasks", "/status", "/metrics", "/healthz") or path.startswith(
@@ -123,8 +148,8 @@ async def _handle(
 ) -> None:
     try:
         try:
-            method, path, body = await _read_request(reader)
-            status, payload = _route(service, method, path, body)
+            method, path, body, accept = await _read_request(reader)
+            status, payload = _route(service, method, path, body, accept)
         except ApiError as exc:
             status, payload = exc.status, {"error": str(exc)}
         except asyncio.IncompleteReadError:

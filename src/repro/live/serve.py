@@ -101,6 +101,13 @@ def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
         help="write the bound port number to PATH once listening "
         "(for scripts driving an ephemeral --port 0)",
     )
+    parser.add_argument(
+        "--flight-out",
+        default=None,
+        metavar="PATH",
+        help="stream a flight recording (JSONL) of every market decision "
+        "to PATH; feed it to `repro audit` / `repro replay` afterwards",
+    )
 
 
 def config_from_args(args: argparse.Namespace) -> LiveConfig:
@@ -159,7 +166,12 @@ def _write_artifacts(obs, args) -> None:
 async def _serve(config: LiveConfig, args: argparse.Namespace) -> int:
     obs = _make_obs(args)
     obs.begin_run("live")
-    service = LiveService(config, obs=obs)
+    flight = None
+    if getattr(args, "flight_out", None):
+        from repro.obs import FlightRecorder
+
+        flight = FlightRecorder(args.flight_out, clock_domain="wall")
+    service = LiveService(config, obs=obs, flight=flight)
     await service.start()
     server, port = await start_http(service, config.host, config.port)
     print(f"repro.live listening on http://{config.host}:{port} "
@@ -186,6 +198,9 @@ async def _serve(config: LiveConfig, args: argparse.Namespace) -> int:
     await server.wait_closed()
     await service.stop()
     obs.end_run(service.clock.now)
+    if flight is not None:
+        flight.close()
+        print(f"wrote {args.flight_out} ({len(flight.events)} flight records)")
     _write_artifacts(obs, args)
 
     status = service.status()

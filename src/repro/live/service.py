@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import time
 from dataclasses import dataclass
 from typing import Optional
 
@@ -33,6 +34,7 @@ from repro.live.config import LiveConfig
 from repro.live.executor import ExecutionReport, SubprocessExecutor
 from repro.live.site import LiveSite
 from repro.market.broker import Broker, best_surplus, best_yield, earliest_completion
+from repro.obs.prom import RateWindow
 from repro.sim.clock import Clock
 from repro.tasks.bid import TaskBid
 from repro.tasks.contract import Contract
@@ -74,6 +76,7 @@ class LiveService:
         config: LiveConfig,
         obs=None,
         clock: Optional[Clock] = None,
+        flight=None,
     ) -> None:
         try:
             strategy = STRATEGIES[config.strategy]
@@ -85,6 +88,9 @@ class LiveService:
         self.config = config
         self.clock: Clock = clock if clock is not None else WallClock(config.rate)
         self.obs = obs
+        self.flight = flight
+        #: windowed operational rates for /metrics (wall-second domain)
+        self.rates = RateWindow()
         self.sites: list[LiveSite] = []
         for spec in config.sites:
             executor = SubprocessExecutor(
@@ -100,10 +106,23 @@ class LiveService:
                 timeout_factor=config.timeout_factor,
                 max_restarts=config.max_restarts,
                 obs=obs,
+                flight=flight,
             )
             site.on_slot_free = self._kick
+            site.settlement_listeners.append(self._note_settlement)
             self.sites.append(site)
         self.broker = Broker(self.sites, strategy=strategy, vickrey=config.vickrey)
+        self.broker.flight = flight
+        if flight is not None:
+            for site, spec in zip(self.sites, config.sites):
+                flight.site_open(
+                    self.clock.now,
+                    site.site_id,
+                    capacity=spec.slots,
+                    heuristic=spec.heuristic,
+                    threshold=spec.threshold,
+                    discount_rate=spec.discount_rate,
+                )
         self.records: list[LiveRecord] = []
         self._record_of_task: dict[int, LiveRecord] = {}
         self._negotiation_ids = itertools.count()
@@ -137,7 +156,10 @@ class LiveService:
         nid = next(self._negotiation_ids)
         if self.obs is not None:
             self.obs.negotiation_started(nid, now)
+        negotiation_started = time.perf_counter()
         outcome = self.broker.negotiate(bid)
+        self.rates.note_roundtrip((time.perf_counter() - negotiation_started) * 1e6)
+        self.rates.note_bid(self._wall_now(), outcome.accepted)
         if self.obs is not None:
             quoted = {q.site_id for q in outcome.quotes}
             for site in self.sites:
@@ -179,6 +201,13 @@ class LiveService:
 
     def submit_bids(self, requests: list[BidRequest]) -> list[LiveRecord]:
         return [self.submit_bid(r) for r in requests]
+
+    def _wall_now(self) -> float:
+        """Wall seconds since the clock epoch (market units / rate)."""
+        return self.clock.now / self.config.rate
+
+    def _note_settlement(self, contract: Contract, task: Task) -> None:
+        self.rates.note_settlement(self._wall_now(), contract.actual_price)
 
     def _site(self, site_id: str) -> LiveSite:
         for site in self.sites:
@@ -265,6 +294,17 @@ class LiveService:
                 await asyncio.wait(set(self._inflight))
             for site in self.sites:
                 site.abandon_queued()
+        if self.flight is not None:
+            # closing books per site: the audit's reconciliation anchor
+            for site in self.sites:
+                self.flight.site_summary(
+                    self.clock.now,
+                    site.site_id,
+                    revenue=site.revenue,
+                    contracts=len(site.contracts),
+                    quotes_issued=site.quotes_issued,
+                    quotes_declined=site.quotes_declined,
+                )
 
     async def stop(self) -> None:
         if self._loop_task is not None:
@@ -289,6 +329,10 @@ class LiveService:
             self.record_of_task(tid) or record
             for tid, record in self._record_of_task.items()
         ]
+
+    def rate_snapshot(self) -> dict:
+        """Windowed operational rates, evaluated at the current wall time."""
+        return self.rates.snapshot(self._wall_now())
 
     def status(self) -> dict:
         from repro.live.api import API_VERSION

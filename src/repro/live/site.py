@@ -72,6 +72,7 @@ class LiveSite:
         max_restarts: int = 1,
         pricing: Optional[PricingPolicy] = None,
         obs=None,
+        flight=None,
     ) -> None:
         self.clock = clock
         self.site_id = spec.site_id
@@ -85,6 +86,9 @@ class LiveSite:
         self.processors = ProcessorPool(spec.slots)
         self.ledger = YieldLedger()
         self.obs = obs
+        #: optional FlightRecorder receiving quote/settlement events
+        #: (wall-clock domain; same schema as the sim recorder)
+        self.flight = flight
         self.timeout_factor = float(timeout_factor)
         self.max_restarts = int(max_restarts)
         self._contract_of: dict[int, Contract] = {}  # task tid -> contract
@@ -109,15 +113,20 @@ class LiveSite:
         decision = self.admission.evaluate(self, probe)
         if not decision.accept:
             self.quotes_declined += 1
+            if self.flight is not None:
+                self.flight.quote(self.clock.now, self.site_id, bid, decision, None)
             return None
         self.quotes_issued += 1
-        return ServerBid(
+        server_bid = ServerBid(
             site_id=self.site_id,
             bid_id=bid.bid_id,
             expected_completion=decision.expected_completion,
             expected_price=self.pricing.quote(bid, decision),
             expected_slack=decision.slack,
         )
+        if self.flight is not None:
+            self.flight.quote(self.clock.now, self.site_id, bid, decision, server_bid)
+        return server_bid
 
     def award(self, bid: TaskBid, server_bid: ServerBid) -> Contract:
         """Form the contract and enqueue the task for real execution."""
@@ -263,12 +272,17 @@ class LiveSite:
         if task.state.value == "cancelled":
             if math.isfinite(contract.vf.floor):
                 price = contract.settle_breach(now)
+                outcome = "breached"
             else:
                 price = contract.settle_abandoned(now, release=task.arrival)
+                outcome = "abandoned"
         else:
             assert task.completion is not None
             price = contract.settle(task.completion, release=task.arrival)
+            outcome = "completed"
         self.revenue += price
+        if self.flight is not None:
+            self.flight.settlement(now, contract, outcome)
         for listener in self.settlement_listeners:
             listener(contract, task)
 

@@ -110,6 +110,9 @@ class Broker:
     vickrey: bool = False
     negotiations: int = 0
     rejections: int = 0
+    #: optional FlightRecorder; when set, bid arrivals and awards are
+    #: recorded (sites record their own quotes/settlements)
+    flight: Optional[object] = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not self.sites:
@@ -121,6 +124,8 @@ class Broker:
     def negotiate(self, bid: TaskBid) -> NegotiationOutcome:
         """Run one sealed-bid round for *bid* and award the winner (if any)."""
         self.negotiations += 1
+        if self.flight is not None:
+            self.flight.bid(self.sites[0].clock.now, bid)
         outcome = self._negotiate_over(bid, self.sites)
         if not outcome.accepted:
             self.rejections += 1
@@ -161,4 +166,6 @@ class Broker:
                 expires_at=winner.expires_at,
             )
         contract = quote_sites[index].award(bid, winner)
+        if self.flight is not None:
+            self.flight.award(contract.signed_at, bid, winner, contract)
         return NegotiationOutcome(bid=bid, quotes=quotes, winner=winner, contract=contract)

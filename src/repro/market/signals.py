@@ -59,6 +59,10 @@ class PriceBoard:
             unit_price=contract.actual_price / contract.bid.runtime,
             on_time=contract.on_time,
         )
+        return self.publish_point(point)
+
+    def publish_point(self, point: PricePoint) -> PricePoint:
+        """Post an already-formed :class:`PricePoint` (recorder feeds)."""
         self._points.append(point)
         self.published += 1
         return point
@@ -94,3 +98,26 @@ class PriceBoard:
             }
             for s in sites
         }
+
+
+def board_from_recording(recording, window: int = 256) -> PriceBoard:
+    """Rebuild a :class:`PriceBoard` from a flight recording's settlements.
+
+    The §2 published-contract-summaries signal, derived offline: each
+    ``settlement`` event becomes a :class:`PricePoint`, in recording
+    order, through the same rolling window as a live board.  Works on
+    sim and live recordings alike (times are in the recording's clock
+    domain).
+    """
+    board = PriceBoard(window=window)
+    for event in recording.of_kind("settlement"):
+        completion = event.get("completion")
+        board.publish_point(
+            PricePoint(
+                time=completion if completion is not None else event["t"],
+                site_id=event["site_id"],
+                unit_price=event["price"] / event["runtime"],
+                on_time=bool(event["on_time"]),
+            )
+        )
+    return board

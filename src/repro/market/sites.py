@@ -62,6 +62,7 @@ class MarketSite:
         obs=None,
         quote_ttl: Optional[float] = None,
         restart_policy=None,
+        flight=None,
     ) -> None:
         if quote_ttl is not None and not quote_ttl > 0:
             raise MarketError(f"quote_ttl must be > 0, got {quote_ttl!r}")
@@ -89,6 +90,8 @@ class MarketSite:
         #: optional PriceBoard that receives every settlement (§2's
         #: "publish summaries of recent contracts")
         self.price_board = price_board
+        #: optional FlightRecorder receiving quote/settlement events
+        self.flight = flight
         #: callbacks invoked as fn(contract, task) after each settlement —
         #: the resilience layer re-bids breached tasks through these and
         #: budgeted clients reconcile committed spend
@@ -113,9 +116,11 @@ class MarketSite:
         decision = self.admission.evaluate(self.engine, probe)
         if not decision.accept:
             self.quotes_declined += 1
+            if self.flight is not None:
+                self.flight.quote(self.clock.now, self.site_id, bid, decision, None)
             return None
         self.quotes_issued += 1
-        return ServerBid(
+        server_bid = ServerBid(
             site_id=self.site_id,
             bid_id=bid.bid_id,
             expected_completion=decision.expected_completion,
@@ -123,6 +128,9 @@ class MarketSite:
             expected_slack=decision.slack,
             expires_at=None if self.quote_ttl is None else self.clock.now + self.quote_ttl,
         )
+        if self.flight is not None:
+            self.flight.quote(self.clock.now, self.site_id, bid, decision, server_bid)
+        return server_bid
 
     # ------------------------------------------------------------------
     # Phase 2: award and execution
@@ -140,6 +148,8 @@ class MarketSite:
             )
         if server_bid.expired(self.clock.now):
             self.expired_awards_refused += 1
+            if self.flight is not None:
+                self.flight.quote_expired(self.clock.now, self.site_id, server_bid)
             raise MarketError(
                 f"quote for bid {server_bid.bid_id} expired at "
                 f"{server_bid.expires_at:g} (now {self.clock.now:g}); "
@@ -176,9 +186,13 @@ class MarketSite:
             raise MarketError(f"finished task {task.tid} has no completion time")
         if task.state.value == "cancelled":
             price = contract.settle_breach(self.clock.now)
+            outcome = "breached"
         else:
             price = contract.settle(task.completion, release=task.arrival)
+            outcome = "completed"
         self.revenue += price
+        if self.flight is not None:
+            self.flight.settlement(self.clock.now, contract, outcome)
         if self.price_board is not None:
             self.price_board.publish(contract)
         for listener in self.settlement_listeners:

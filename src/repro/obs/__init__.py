@@ -18,6 +18,12 @@ decay — without perturbing the run:
 * **Exporters** (:mod:`repro.obs.export`): Chrome/Perfetto
   ``trace_event`` JSON, JSONL streams with explicit drop counters, and
   human summary tables.
+* **Flight recorder** (:mod:`repro.obs.flight`): schema-versioned
+  append-only JSONL log of every market decision (bid, quote, award,
+  settlement, breaker transition) for ``repro audit`` / ``repro replay``.
+* **Prometheus exposition** (:mod:`repro.obs.prom`): text-format
+  rendering of metrics snapshots plus windowed service rates for the
+  live ``/metrics`` route.
 
 Attach with the ambient context::
 
@@ -37,7 +43,9 @@ from repro.obs.export import (
     trace_to_jsonl,
     write_chrome_trace,
 )
+from repro.obs.flight import FLIGHT_SCHEMA, FlightRecorder, Recording, read_recording
 from repro.obs.instrument import Observability, current, null_observability, observing
+from repro.obs.prom import PROMETHEUS_CONTENT_TYPE, RateWindow, prometheus_text
 from repro.obs.profile import Profiler, TimerStat
 from repro.obs.registry import (
     NULL_REGISTRY,
@@ -51,14 +59,19 @@ from repro.obs.registry import (
 from repro.obs.spans import Span, SpanTracker
 
 __all__ = [
+    "FLIGHT_SCHEMA",
     "NULL_REGISTRY",
+    "PROMETHEUS_CONTENT_TYPE",
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NullRegistry",
     "Observability",
     "Profiler",
+    "RateWindow",
+    "Recording",
     "Span",
     "SpanTracker",
     "TimeWeightedGauge",
@@ -68,6 +81,8 @@ __all__ = [
     "null_observability",
     "observing",
     "profile_summary",
+    "prometheus_text",
+    "read_recording",
     "spans_to_chrome",
     "spans_to_jsonl",
     "trace_to_jsonl",

@@ -1,0 +1,332 @@
+"""The market flight recorder: every economic decision, on the record.
+
+A :class:`FlightRecorder` captures the market's decision chain — bid
+arrival, per-site quote (admission verdict, slack, price), award,
+settlement, quote expiry, breaker transition — as schema-versioned,
+append-only JSONL.  The same record schema serves both clock domains:
+simulation runs tag records with the sim clock, the live service with
+its wall clock (``Recording.clock`` says which).
+
+Like every observability layer it is off by default and bit-inert: the
+recorder never reads any clock itself (callers pass ``t`` from *their*
+``clock.now``, a discipline enforced statically by lint rule OBS002),
+never touches sim state, and a ``flight=None`` market is byte-identical
+to one that predates the recorder (pinned by the golden fig6 tests).
+
+The JSONL layout is one header line followed by one object per event::
+
+    {"kind": "header", "schema": 1, "clock": "sim"}
+    {"seq": 1, "kind": "bid", "t": 0.0, "bid_id": 7, ...}
+    {"seq": 2, "kind": "quote", "t": 0.0, "site_id": "site-0", ...}
+
+Consumers: ``repro.audit`` (double-entry ledger checks),
+``repro.replay`` (trace reconstruction + A/B policy re-runs), and
+``repro.market.signals.board_from_recording`` (price-board rebuilds).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from dataclasses import dataclass, field
+from typing import IO, Optional
+
+#: Bump when record fields/semantics change incompatibly.
+FLIGHT_SCHEMA = 1
+
+#: Every record kind the schema knows (audited by tests).
+RECORD_KINDS = (
+    "header",
+    "site",
+    "bid",
+    "quote",
+    "award",
+    "settlement",
+    "quote_expired",
+    "breaker",
+    "site_summary",
+)
+
+#: Settlement outcomes (the three ways a contract closes).
+SETTLEMENT_OUTCOMES = ("completed", "breached", "abandoned")
+
+
+def _jsonable(value: object) -> object:
+    """JSON has no infinities; map them to sentinels the reader undoes."""
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        if math.isnan(value):
+            return "nan"
+    return value
+
+
+def _from_jsonable(value: object) -> object:
+    if value == "inf":
+        return math.inf
+    if value == "-inf":
+        return -math.inf
+    if value == "nan":
+        return math.nan
+    return value
+
+
+@dataclass
+class Recording:
+    """A parsed flight recording: header fields plus the event list."""
+
+    schema: int
+    clock: str
+    events: list[dict] = field(default_factory=list)
+
+    def of_kind(self, kind: str) -> list[dict]:
+        """Events of one kind, in recording (seq) order."""
+        return [e for e in self.events if e["kind"] == kind]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Recording schema={self.schema} clock={self.clock!r} "
+            f"events={len(self.events)}>"
+        )
+
+
+class FlightRecorder:
+    """Append-only recorder of market decision events.
+
+    Parameters
+    ----------
+    path:
+        When given, every record is streamed to this file as one JSON
+        line (the directory is created; the header line is written
+        immediately).  Records are always retained in memory too, so
+        ``recording()`` works with or without a file.
+    clock_domain:
+        ``"sim"`` (simulated time) or ``"wall"`` (live service time) —
+        a header-level tag; every record's ``t`` is in this domain.
+
+    The recorder is passive: it never reads a clock (callers pass
+    ``t``), never raises into the decision path, and imposes only an
+    append per event (the ≤5% overhead pinned by ``repro bench``).
+    """
+
+    def __init__(self, path: Optional[str] = None, clock_domain: str = "sim") -> None:
+        if clock_domain not in ("sim", "wall"):
+            raise ValueError(f"clock_domain must be 'sim' or 'wall', got {clock_domain!r}")
+        self.clock_domain = clock_domain
+        self.path = path
+        self.events: list[dict] = []
+        self.seq = 0
+        self._file: Optional[IO[str]] = None
+        if path is not None:
+            directory = os.path.dirname(path)
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+            self._file = open(path, "w", encoding="utf-8")
+            self._write_line(
+                {"kind": "header", "schema": FLIGHT_SCHEMA, "clock": clock_domain}
+            )
+
+    # ------------------------------------------------------------------
+    # Core
+    # ------------------------------------------------------------------
+    def record(self, kind: str, t: float, **fields: object) -> dict:
+        """Append one event; returns the stored record."""
+        self.seq += 1
+        row: dict = {"seq": self.seq, "kind": kind, "t": float(t)}
+        row.update(fields)
+        self.events.append(row)
+        if self._file is not None:
+            self._write_line(row)
+        return row
+
+    def _write_line(self, row: dict) -> None:
+        assert self._file is not None
+        self._file.write(json.dumps({k: _jsonable(v) for k, v in row.items()}))
+        self._file.write("\n")
+        self._file.flush()
+
+    def close(self) -> None:
+        """Flush and close the file sink (idempotent)."""
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "FlightRecorder":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def recording(self) -> Recording:
+        """The in-memory events as a :class:`Recording`."""
+        return Recording(
+            schema=FLIGHT_SCHEMA, clock=self.clock_domain, events=list(self.events)
+        )
+
+    # ------------------------------------------------------------------
+    # Typed emitters (callers pass t from their own clock.now)
+    # ------------------------------------------------------------------
+    def site_open(
+        self,
+        t: float,
+        site_id: str,
+        capacity: int,
+        heuristic: str,
+        threshold: Optional[float] = None,
+        discount_rate: Optional[float] = None,
+    ) -> None:
+        """A site joined the recorded market (capacity + policy knobs)."""
+        self.record(
+            "site",
+            t,
+            site_id=site_id,
+            capacity=int(capacity),
+            heuristic=heuristic,
+            threshold=threshold,
+            discount_rate=discount_rate,
+        )
+
+    def bid(self, t: float, bid) -> None:
+        """A client bid arrived for negotiation."""
+        self.record(
+            "bid",
+            t,
+            bid_id=bid.bid_id,
+            client_id=bid.client_id,
+            runtime=bid.runtime,
+            value=bid.value,
+            decay=bid.decay,
+            bound=bid.bound,
+            demand=bid.demand,
+            released_at=bid.released_at,
+        )
+
+    def quote(self, t: float, site_id: str, bid, decision, server_bid) -> None:
+        """One site's answer: an issued quote or an admission decline."""
+        row: dict = {
+            "site_id": site_id,
+            "bid_id": bid.bid_id,
+            "verdict": "issued" if server_bid is not None else "declined",
+            "slack": decision.slack,
+            "expected_completion": decision.expected_completion,
+            "expected_yield": decision.expected_yield,
+        }
+        if server_bid is not None:
+            row["price"] = server_bid.expected_price
+            row["expires_at"] = server_bid.expires_at
+        self.record("quote", t, **row)
+
+    def award(self, t: float, bid, winner, contract) -> None:
+        """The broker awarded *bid* to *winner*'s site; a contract formed."""
+        self.record(
+            "award",
+            t,
+            bid_id=bid.bid_id,
+            site_id=winner.site_id,
+            contract_id=contract.contract_id,
+            agreed_price=contract.agreed_price,
+            promised_completion=contract.promised_completion,
+            task_tid=contract.task_tid,
+        )
+
+    def settlement(self, t: float, contract, outcome: str) -> None:
+        """A contract settled (exactly once): payment, penalty, or refund."""
+        self.record(
+            "settlement",
+            t,
+            contract_id=contract.contract_id,
+            bid_id=contract.bid.bid_id,
+            site_id=contract.site_id,
+            outcome=outcome,
+            price=contract.actual_price,
+            agreed_price=contract.agreed_price,
+            completion=contract.actual_completion,
+            on_time=contract.on_time,
+            runtime=contract.bid.runtime,
+            value=contract.bid.value,
+        )
+
+    def quote_expired(self, t: float, site_id: str, server_bid) -> None:
+        """An award arrived after the quote's TTL; the site refused it."""
+        self.record(
+            "quote_expired",
+            t,
+            site_id=site_id,
+            bid_id=server_bid.bid_id,
+            expires_at=server_bid.expires_at,
+        )
+
+    def breaker(self, t: float, site_id: str, old: str, new: str) -> None:
+        """A resilience circuit breaker changed state."""
+        self.record("breaker", t, site_id=site_id, old=old, new=new)
+
+    def site_summary(
+        self,
+        t: float,
+        site_id: str,
+        revenue: float,
+        contracts: int,
+        quotes_issued: int,
+        quotes_declined: int,
+    ) -> None:
+        """A site's closing books — the audit's reconciliation anchor."""
+        self.record(
+            "site_summary",
+            t,
+            site_id=site_id,
+            revenue=float(revenue),
+            contracts=int(contracts),
+            quotes_issued=int(quotes_issued),
+            quotes_declined=int(quotes_declined),
+        )
+
+    def __repr__(self) -> str:
+        sink = self.path if self.path is not None else "memory"
+        return f"<FlightRecorder {self.clock_domain} events={self.seq} sink={sink}>"
+
+
+# ----------------------------------------------------------------------
+# Reader
+# ----------------------------------------------------------------------
+
+def read_recording(path: str) -> Recording:
+    """Parse a JSONL flight recording written by :class:`FlightRecorder`.
+
+    Raises :class:`ValueError` on a missing/garbled header or a schema
+    the reader does not understand; malformed trailing lines (a crashed
+    writer's torn final record) are tolerated and dropped.
+    """
+    with open(path, encoding="utf-8") as handle:
+        lines = handle.read().splitlines()
+    if not lines:
+        raise ValueError(f"{path}: empty recording (no header line)")
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path}: unreadable header line: {exc}") from exc
+    if not isinstance(header, dict) or header.get("kind") != "header":
+        raise ValueError(f"{path}: first line is not a flight-recorder header")
+    schema = header.get("schema")
+    if schema != FLIGHT_SCHEMA:
+        raise ValueError(
+            f"{path}: recording schema {schema!r} != supported {FLIGHT_SCHEMA}"
+        )
+    clock = header.get("clock")
+    if clock not in ("sim", "wall"):
+        raise ValueError(f"{path}: bad clock domain {clock!r}")
+    events: list[dict] = []
+    for index, line in enumerate(lines[1:], start=2):
+        if not line.strip():
+            continue
+        try:
+            raw = json.loads(line)
+        except json.JSONDecodeError:
+            if index == len(lines):
+                break  # torn final line from an interrupted writer
+            raise ValueError(f"{path}:{index}: unreadable record") from None
+        events.append({k: _from_jsonable(v) for k, v in raw.items()})
+    return Recording(schema=schema, clock=clock, events=events)

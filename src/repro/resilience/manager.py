@@ -153,10 +153,15 @@ class ResilienceManager:
         emitted = self._emitted_transitions.get(breaker.site_id, 0)
         fresh = breaker.transitions[emitted:]
         self._emitted_transitions[breaker.site_id] = len(breaker.transitions)
-        if self.obs is None:
+        if not fresh:
             return
+        site = self.sites.get(breaker.site_id)
+        flight = getattr(site, "flight", None)
         for when, old, new in fresh:
-            self.obs.breaker_transition(breaker.site_id, old, new, when)
+            if self.obs is not None:
+                self.obs.breaker_transition(breaker.site_id, old, new, when)
+            if flight is not None:
+                flight.breaker(when, breaker.site_id, old, new)
 
     # ------------------------------------------------------------------
     # Lineage bookkeeping

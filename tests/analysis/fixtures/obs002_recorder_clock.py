@@ -1,0 +1,22 @@
+# repro-lint: module=repro.obs.flight.fixture_example
+"""OBS002 fixture: timestamp-passive modules must not read any clock.
+
+The flight-recorder pipeline consumes timestamps its callers pass from
+``clock.now``; reading the wall clock here would tie recordings to the
+recording machine and break sim/live symmetry.
+"""
+
+import time
+from time import perf_counter
+
+
+def record_event(events: list) -> None:
+    events.append({"t": time.time()})  # expect: OBS002
+    events.append({"t": perf_counter()})  # expect: OBS002
+    stamp = time.monotonic()  # expect: OBS002
+    events.append({"t": stamp})
+
+
+def record_event_correctly(events: list, t: float) -> None:
+    # the sanctioned shape: t arrives from the caller's clock.now
+    events.append({"t": float(t)})

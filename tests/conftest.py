@@ -4,8 +4,14 @@ Hypothesis runs with a fixed, CI-friendly profile: derandomized (so a
 red build is reproducible from the seed in the failure message) and with
 deadlines disabled (whole-simulation examples have legitimate latency
 variance that per-example deadlines would misreport as flakiness).
+
+Also hosts the shared ``recorded_market`` fixture: one small market run
+captured by a :class:`FlightRecorder`, reused by the flight-recorder,
+audit, replay, and signals test modules (session-scoped — the tests
+only read it).
 """
 
+import pytest
 from hypothesis import HealthCheck, settings
 
 settings.register_profile(
@@ -15,3 +21,41 @@ settings.register_profile(
     suppress_health_check=[HealthCheck.too_slow],
 )
 settings.load_profile("repro")
+
+
+def run_recorded_market(n_jobs=80, seed=7, threshold=60.0, record=True):
+    """Run a small two-site market, by default with a flight recorder.
+
+    Returns ``(recorder, result)`` (``recorder`` is ``None`` when
+    *record* is false — the disabled path).  Module-level (not just a
+    fixture) so tests that need a *fresh* run under different knobs can
+    call it directly.
+    """
+    from repro.market import MarketSite, run_market
+    from repro.obs.flight import FlightRecorder
+    from repro.scheduling import FirstReward
+    from repro.sim import Simulator
+    from repro.site import SlackAdmission
+    from repro.workload import economy_spec, generate_trace
+
+    trace = generate_trace(economy_spec(n_jobs=n_jobs, load_factor=1.5, processors=8), seed=seed)
+    sim = Simulator()
+    sites = [
+        MarketSite(
+            sim,
+            site_id=f"site-{i}",
+            processors=8,
+            heuristic=FirstReward(0.3, 0.01),
+            admission=SlackAdmission(threshold=threshold),
+        )
+        for i in range(2)
+    ]
+    flight = FlightRecorder(clock_domain="sim") if record else None
+    result = run_market(trace, sites, flight=flight)
+    return flight, result
+
+
+@pytest.fixture(scope="session")
+def recorded_market():
+    """One shared recorded market run: ``(recorder, result)``."""
+    return run_recorded_market()

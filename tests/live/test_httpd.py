@@ -125,9 +125,112 @@ def test_healthz_and_metrics_without_obs():
         assert await _request(port, "GET", "/healthz") == (200, {"ok": True})
         status, snapshot = await _request(port, "GET", "/metrics")
         assert status == 200
-        assert snapshot == {}  # no registry attached in this scenario
+        assert snapshot["metrics"] == {}  # no registry attached in this scenario
+        assert snapshot["rates"]["window_s"] == 60.0
+        assert snapshot["rates"]["acceptance_pct"] is None  # no bids yet
 
     _scenario(steps)
+
+
+async def _raw_request(port, path, headers):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    extra = "".join(f"{k}: {v}\r\n" for k, v in headers.items())
+    writer.write(
+        f"GET {path} HTTP/1.1\r\nHost: localhost\r\n{extra}"
+        f"Connection: close\r\n\r\n".encode()
+    )
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    await writer.wait_closed()
+    head, _, body = raw.partition(b"\r\n\r\n")
+    status = int(head.split()[1])
+    content_type = ""
+    for line in head.decode().split("\r\n"):
+        if line.lower().startswith("content-type:"):
+            content_type = line.partition(":")[2].strip()
+    return status, content_type, body
+
+
+def test_metrics_content_negotiation():
+    async def steps(service, port):
+        status, _ = await _request(port, "POST", "/bids", GOOD_BID)
+        assert status == 200
+        await _wait_idle(service)
+
+        # default (no Accept header): JSON document with windowed rates
+        status, content_type, body = await _raw_request(port, "/metrics", {})
+        assert status == 200
+        assert content_type == "application/json"
+        doc = json.loads(body)
+        assert doc["rates"]["acceptance_pct"] == 100.0
+        assert doc["rates"]["roundtrip_p50_us"] > 0
+
+        # Accept: text/plain: Prometheus exposition text
+        status, content_type, body = await _raw_request(
+            port, "/metrics", {"Accept": "text/plain"}
+        )
+        assert status == 200
+        assert content_type.startswith("text/plain")
+        text = body.decode()
+        assert "# TYPE repro_service_bids_per_s gauge" in text
+        assert "repro_service_acceptance_pct 100.0" in text
+
+        # an Accept header preferring JSON still gets JSON
+        status, content_type, _ = await _raw_request(
+            port, "/metrics", {"Accept": "application/json"}
+        )
+        assert status == 200
+        assert content_type == "application/json"
+
+    _scenario(steps)
+
+
+def test_metrics_prometheus_with_obs_attached():
+    """The text exposition must survive a real obs snapshot.
+
+    `repro serve` attaches an Observability whose snapshot() nests the
+    instrument map under "metrics" next to non-instrument sections
+    ("runs", "spans") — regression test for the 500 this once caused.
+    """
+    from repro.obs import MetricsRegistry, Observability
+
+    async def main():
+        obs = Observability(registry=MetricsRegistry(), spans=True, profiler=False)
+        obs.begin_run("live")
+        config = default_config(
+            rate=200.0,
+            poll_interval=0.02,
+            sites=(LiveSiteSpec(site_id="live-0", slots=2),),
+        )
+        service = LiveService(config, obs=obs)
+        await service.start()
+        server, port = await start_http(service, "127.0.0.1", 0)
+        try:
+            status, _ = await _request(port, "POST", "/bids", GOOD_BID)
+            assert status == 200
+            await _wait_idle(service)
+
+            status, content_type, body = await _raw_request(
+                port, "/metrics", {"Accept": "text/plain"}
+            )
+            assert status == 200
+            assert content_type.startswith("text/plain")
+            text = body.decode()
+            assert "# TYPE repro_tasks_completed counter" in text
+            assert "repro_service_acceptance_pct 100.0" in text
+
+            # the JSON branch still returns the full snapshot document
+            status, doc = await _request(port, "GET", "/metrics")
+            assert status == 200
+            assert doc["metrics"]["metrics"]["tasks.completed"]["value"] == 1
+        finally:
+            server.close()
+            await server.wait_closed()
+            await service.drain()
+            await service.stop()
+
+    asyncio.run(main())
 
 
 def test_draining_service_answers_503_but_still_reports():

@@ -105,3 +105,43 @@ class TestQueries:
         summary = board.site_summary()
         assert set(summary) == {"a", "b"}
         assert summary["a"]["settlements"] == 1
+
+
+class TestRecorderFeed:
+    """The board rebuilt from a flight recording (§2, derived offline)."""
+
+    def test_publish_point_feeds_the_window(self):
+        from repro.market.signals import PricePoint
+
+        board = PriceBoard(window=2)
+        for i in range(3):
+            point = PricePoint(time=float(i), site_id="s", unit_price=1.0 + i, on_time=True)
+            assert board.publish_point(point) is point
+        assert board.published == 3
+        assert [p.unit_price for p in board.recent()] == [2.0, 3.0]
+
+    def test_board_from_recording_matches_the_settled_economy(self, recorded_market):
+        from repro.market.signals import board_from_recording
+
+        flight, result = recorded_market
+        recording = flight.recording()
+        board = board_from_recording(recording, window=10_000)
+        settlements = recording.of_kind("settlement")
+        assert board.published == len(settlements) == result.accepted
+        for site_id, count in result.contracts_by_site.items():
+            assert len(board.recent(site_id)) == count
+        on_time = sum(1 for e in settlements if e["on_time"])
+        assert board.on_time_rate() == pytest.approx(on_time / len(settlements))
+
+    def test_board_from_recording_respects_the_window(self, recorded_market):
+        from repro.market.signals import board_from_recording
+
+        flight, result = recorded_market
+        board = board_from_recording(flight.recording(), window=5)
+        assert board.published == result.accepted
+        assert len(board.recent()) == 5
+        # the retained points are the LAST five settlements, in order
+        tail = flight.recording().of_kind("settlement")[-5:]
+        assert [p.unit_price for p in board.recent()] == pytest.approx(
+            [e["price"] / e["runtime"] for e in tail]
+        )

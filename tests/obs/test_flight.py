@@ -1,0 +1,166 @@
+"""Tests for the market flight recorder (repro.obs.flight)."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs.flight import (
+    FLIGHT_SCHEMA,
+    RECORD_KINDS,
+    SETTLEMENT_OUTCOMES,
+    FlightRecorder,
+    Recording,
+    read_recording,
+)
+
+
+class TestRecorderCore:
+    def test_memory_only_by_default(self):
+        rec = FlightRecorder()
+        assert rec.path is None
+        rec.record("bid", 1.0, bid_id=3)
+        assert rec.events == [{"seq": 1, "kind": "bid", "t": 1.0, "bid_id": 3}]
+        rec.close()  # no file sink: close is a no-op
+
+    def test_rejects_unknown_clock_domain(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(clock_domain="lamport")
+
+    def test_sequence_numbers_are_monotonic(self):
+        rec = FlightRecorder()
+        for t in (0.0, 1.5, 1.5, 9.0):
+            rec.record("bid", t)
+        assert [e["seq"] for e in rec.events] == [1, 2, 3, 4]
+
+    def test_recording_snapshot_is_a_copy(self):
+        rec = FlightRecorder()
+        rec.record("bid", 0.0)
+        snap = rec.recording()
+        rec.record("bid", 1.0)
+        assert len(snap) == 1
+        assert len(rec.recording()) == 2
+        assert snap.schema == FLIGHT_SCHEMA
+        assert snap.clock == "sim"
+
+    def test_of_kind_filters_in_seq_order(self):
+        rec = Recording(
+            schema=1,
+            clock="sim",
+            events=[
+                {"seq": 1, "kind": "bid"},
+                {"seq": 2, "kind": "quote"},
+                {"seq": 3, "kind": "bid"},
+            ],
+        )
+        assert [e["seq"] for e in rec.of_kind("bid")] == [1, 3]
+        assert rec.of_kind("breaker") == []
+
+
+class TestFileRoundtrip:
+    def test_header_then_events_roundtrip(self, tmp_path):
+        path = str(tmp_path / "flight.jsonl")
+        with FlightRecorder(path, clock_domain="wall") as rec:
+            rec.record("bid", 2.0, bid_id=11, value=40.0)
+            rec.record("quote", 2.0, site_id="s0", verdict="declined")
+        lines = (tmp_path / "flight.jsonl").read_text().splitlines()
+        assert json.loads(lines[0]) == {
+            "kind": "header",
+            "schema": FLIGHT_SCHEMA,
+            "clock": "wall",
+        }
+        parsed = read_recording(path)
+        assert parsed.clock == "wall"
+        assert len(parsed) == 2
+        assert parsed.events[0]["bid_id"] == 11
+
+    def test_infinities_survive_the_json_roundtrip(self, tmp_path):
+        path = str(tmp_path / "inf.jsonl")
+        with FlightRecorder(path) as rec:
+            rec.record("bid", 0.0, bound=math.inf, slack=-math.inf)
+        parsed = read_recording(path)
+        assert parsed.events[0]["bound"] == math.inf
+        assert parsed.events[0]["slack"] == -math.inf
+        # the file itself stays strict JSON (no bare Infinity tokens)
+        for line in (tmp_path / "inf.jsonl").read_text().splitlines():
+            json.loads(line)
+
+    def test_torn_final_line_is_tolerated(self, tmp_path):
+        path = str(tmp_path / "torn.jsonl")
+        with FlightRecorder(path) as rec:
+            rec.record("bid", 0.0, bid_id=1)
+            rec.record("bid", 1.0, bid_id=2)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"seq": 3, "kind": "bi')  # crashed writer
+        parsed = read_recording(path)
+        assert [e["bid_id"] for e in parsed.events] == [1, 2]
+
+    def test_torn_interior_line_is_an_error(self, tmp_path):
+        path = str(tmp_path / "bad.jsonl")
+        with FlightRecorder(path) as rec:
+            rec.record("bid", 0.0)
+        text = (tmp_path / "bad.jsonl").read_text()
+        (tmp_path / "bad.jsonl").write_text(text + "not json\n" + '{"seq": 2, "kind": "bid", "t": 1.0}\n')
+        with pytest.raises(ValueError, match="unreadable record"):
+            read_recording(path)
+
+    @pytest.mark.parametrize(
+        "first_line, match",
+        [
+            ("", "empty recording"),
+            ("not json", "unreadable header"),
+            ('{"kind": "bid"}', "not a flight-recorder header"),
+            ('{"kind": "header", "schema": 999, "clock": "sim"}', "schema"),
+            ('{"kind": "header", "schema": 1, "clock": "gps"}', "clock domain"),
+        ],
+    )
+    def test_header_validation(self, tmp_path, first_line, match):
+        path = tmp_path / "hdr.jsonl"
+        path.write_text(first_line + "\n" if first_line else "")
+        with pytest.raises(ValueError, match=match):
+            read_recording(str(path))
+
+
+class TestMarketIntegration:
+    def test_recorded_run_covers_the_decision_chain(self, recorded_market):
+        flight, result = recorded_market
+        recording = flight.recording()
+        assert len(recording.of_kind("site")) == 2
+        assert len(recording.of_kind("bid")) == len(result.outcomes)
+        # every bid gets one quote record per site (issued or declined)
+        assert len(recording.of_kind("quote")) == 2 * len(result.outcomes)
+        assert len(recording.of_kind("award")) == result.accepted
+        # the run drains fully: every award settles, every site closes its books
+        assert len(recording.of_kind("settlement")) == result.accepted
+        assert len(recording.of_kind("site_summary")) == 2
+        assert {e["kind"] for e in recording.events} <= set(RECORD_KINDS)
+
+    def test_settlement_outcomes_are_from_the_schema(self, recorded_market):
+        flight, _ = recorded_market
+        outcomes = {e["outcome"] for e in flight.recording().of_kind("settlement")}
+        assert outcomes
+        assert outcomes <= set(SETTLEMENT_OUTCOMES)
+
+    def test_site_summary_reconciles_revenue(self, recorded_market):
+        flight, result = recorded_market
+        summaries = {e["site_id"]: e for e in flight.recording().of_kind("site_summary")}
+        for site_id, revenue in result.revenue_by_site.items():
+            assert summaries[site_id]["revenue"] == pytest.approx(revenue)
+
+    def test_timestamps_never_decrease(self, recorded_market):
+        flight, _ = recorded_market
+        times = [e["t"] for e in flight.recording().events]
+        assert all(b >= a for a, b in zip(times, times[1:]))
+
+    def test_recorder_is_an_observer_not_a_participant(self, recorded_market):
+        """A recorded market settles the exact same economy as a plain
+        one built from the same trace, seed, and policies."""
+        from tests.conftest import run_recorded_market
+
+        _, recorded = recorded_market
+        none_flight, plain = run_recorded_market(record=False)  # same knobs, no recorder
+        assert none_flight is None
+        assert plain.accepted == recorded.accepted
+        assert plain.total_revenue == recorded.total_revenue
+        assert plain.revenue_by_site == recorded.revenue_by_site
+        assert plain.contracts_by_site == recorded.contracts_by_site

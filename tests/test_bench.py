@@ -119,3 +119,25 @@ class TestBenchDocument:
         text = path.read_text()
         assert text.endswith("\n")
         assert json.loads(text) == document
+
+    def test_committed_baseline_keys_are_sorted(self):
+        document = bench_compare._load(bench_compare.DEFAULT_BASELINE)
+        keys = list(document["results"])
+        assert keys == sorted(keys)
+
+
+class TestFlightOverhead:
+    def test_committed_baseline_pins_overhead_within_budget(self):
+        """The recorder's ≤5% overhead contract, enforced on the committed
+        baseline (the comparator itself ignores ratio metrics it cannot
+        classify, so the pin lives here)."""
+        document = bench_compare._load(bench_compare.DEFAULT_BASELINE)
+        overhead = document["results"]["flight_record_overhead"]
+        assert 0.2 < overhead <= 1.05
+
+    def test_overhead_bench_asserts_outcome_identity(self):
+        # bench_flight_overhead raises if the recorded run settles
+        # different revenue than the plain run; a tiny run exercises that
+        # assertion and the ratio plumbing without benchmark-grade timing
+        ratio = bench.bench_flight_overhead(n_jobs=40)
+        assert ratio > 0.0
