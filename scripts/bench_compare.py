@@ -21,6 +21,11 @@ tighten it only on dedicated hardware.  Speedup metrics are skipped
 automatically when either machine has fewer CPUs than the worker count —
 a 1-core container cannot regress a 4-worker speedup.
 
+Overhead *ratios* (``*_overhead``) are machine-independent — a ratio of
+on-cost to off-cost measured in one process — so they are judged against
+an absolute cap (``OVERHEAD_CAPS``) in the fresh run alone, not against
+the baseline's ratio.
+
 Exit status: 0 when nothing regressed (or ``--report-only``), 1 when at
 least one metric exceeded tolerance, 2 on bad input.
 """
@@ -40,6 +45,18 @@ DEFAULT_BASELINE = os.path.join(
 _HIGHER_IS_BETTER = re.compile(r"(_eps$|^speedup_)")
 _LOWER_IS_BETTER = re.compile(r"(_us(_n\d+)?$|_s$)")
 _SPEEDUP_WORKERS = re.compile(r"^(?:speedup|experiment)_w(\d+)")
+
+#: Absolute ceilings for overhead-ratio metrics: the fresh value alone
+#: must stay under the cap (baseline-relative comparison would let a
+#: slowly creeping ratio ratchet the budget upward).
+OVERHEAD_CAPS = {
+    # write-ahead journal on the serve intake path: crash durability may
+    # not cost more than 10% of bid roundtrip latency
+    "serve_journal_overhead": 1.10,
+    # flight recorder on the sim market path: the recorder's documented
+    # contract is <= 5% overhead
+    "flight_record_overhead": 1.05,
+}
 
 
 def _load(path: str) -> dict:
@@ -71,6 +88,17 @@ def compare(baseline: dict, fresh: dict, tolerance: float) -> tuple[list[str], i
     shared = sorted(set(baseline["results"]) & set(fresh["results"]))
     if not shared:
         raise SystemExit("bench_compare: the documents share no metrics")
+    for metric in sorted(set(fresh["results"]) & set(OVERHEAD_CAPS)):
+        cap = OVERHEAD_CAPS[metric]
+        value = float(fresh["results"][metric])
+        if value > cap:
+            verdict = "REGRESSION"
+            regressions += 1
+        else:
+            verdict = "ok"
+        lines.append(
+            f"  {verdict:<10} {metric}: {value:.3f} vs absolute cap {cap:.2f}"
+        )
     for metric in shared:
         direction = _direction(metric)
         if direction == 0:

@@ -119,14 +119,16 @@ RULES: dict[str, Rule] = {
             name="clock-read-in-recorder",
             summary=(
                 "wall-clock read in a timestamp-passive observability "
-                "module (repro.obs.flight/prom, repro.audit, repro.replay)"
+                "module (repro.obs.flight/prom, repro.audit, repro.replay, "
+                "repro.live.recovery)"
             ),
             rationale=(
-                "The flight recorder, Prometheus renderer, auditor, and "
-                "replayer consume timestamps their callers pass from "
-                "clock.now; reading a clock directly would tie recordings "
-                "to the recording machine's wall time and break sim/live "
-                "symmetry.  Wall time is owned by repro.live alone."
+                "The flight recorder, Prometheus renderer, auditor, "
+                "replayer, and crash-recovery planner consume timestamps "
+                "their callers pass from clock.now; reading a clock "
+                "directly would tie recordings to the recording machine's "
+                "wall time and break sim/live symmetry.  Wall time is "
+                "owned by the rest of repro.live alone."
             ),
         ),
     )

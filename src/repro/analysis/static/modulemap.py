@@ -43,10 +43,14 @@ WALL_CLOCK_ALLOWLIST_PREFIXES = (
     "repro.bench",
     "benchmarks",
     # the live service mode *is* the wall clock: its clocks, executor,
-    # and event loop read real time by design.  The boundary holds
-    # because live code reaches the shared scheduling/market layers only
-    # through the Clock protocol (repro.sim.clock) — those layers stay
-    # in SIM_PATH_PREFIXES and stay forbidden.
+    # event loop, and the retrying client (repro.live.client: request
+    # timeouts, backoff sleeps, monotonic deadlines) read real time by
+    # design.  The boundary holds because live code reaches the shared
+    # scheduling/market layers only through the Clock protocol
+    # (repro.sim.clock) — those layers stay in SIM_PATH_PREFIXES and
+    # stay forbidden.  One live module opts back OUT of this allowance:
+    # repro.live.recovery is timestamp-passive (see below), so for it
+    # the passivity rule wins over the package allowlist.
     "repro.live",
 )
 
@@ -67,6 +71,11 @@ TIMESTAMP_PASSIVE_PREFIXES = (
     "repro.obs.prom",
     "repro.audit",
     "repro.replay",
+    # crash recovery replays journaled timestamps: plan_recovery is a
+    # pure function of the recording and apply_recovery takes `now` as a
+    # parameter, so recovered settlements land at caller-chosen times —
+    # never at times the module read off a clock itself
+    "repro.live.recovery",
 )
 
 #: Presentation / tooling layers where print() IS the output channel.

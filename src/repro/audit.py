@@ -26,6 +26,12 @@ Violation codes::
     unsettled_contract       award whose contract never settled
     revenue_mismatch         site summary revenue != sum of settlements
     contract_count_mismatch  site summary contract count != awards seen
+    recovery_without_award   crash recovery re-settled an unknown contract
+
+Durability records (the live service's write-ahead journal) are part of
+the ledger too: ``intent``/``shed``/``recovery`` records are counted,
+and a ``recovery`` re-settlement must reference a contract actually
+awarded on the record — recovery may close books, never invent them.
 """
 
 from __future__ import annotations
@@ -257,6 +263,20 @@ def audit_recording(recording: Recording) -> AuditReport:
                 site_id=award["site_id"],
             )
 
+    recoveries = recording.of_kind("recovery")
+    for event in recoveries:
+        if event.get("action") != "resettle":
+            continue
+        contract_id = event.get("contract_id")
+        if contract_id not in awards:
+            report.add(
+                "recovery_without_award",
+                f"crash recovery re-settled contract {contract_id} with no "
+                "award on record — recovery may close books, never invent them",
+                contract_id=contract_id,
+                seq=event["seq"],
+            )
+
     summaries = recording.of_kind("site_summary")
     for event in summaries:
         site_id = event["site_id"]
@@ -286,6 +306,9 @@ def audit_recording(recording: Recording) -> AuditReport:
         "awards": len(awards),
         "settlements": len(settlements),
         "sites": len(summaries),
+        "intents": len(recording.of_kind("intent")),
+        "sheds": len(recording.of_kind("shed")),
+        "recoveries": len(recoveries),
         "total_revenue": sum(revenue_by_site.values()),
     }
     return report

@@ -23,6 +23,10 @@ What is measured
   in-process live service (``repro.live``): socket, parse, negotiate
   (admission + pricing), respond.  Task execution runs in the
   background and is not part of the measured path.
+* ``serve_journal_overhead`` — the same roundtrip with the write-ahead
+  journal attached (``JournalSink``, ``interval`` fsync) versus without,
+  as a ratio.  Pinned ≤ 1.10 by ``scripts/bench_compare.py``: crash
+  durability may not cost more than 10% of intake latency.
 * ``flight_record_overhead`` — relative wall-clock cost of running a
   market with the flight recorder attached (in-memory sink) versus
   disabled, as a ratio (1.03 = 3% slower).  The recorder's contract is
@@ -200,15 +204,8 @@ def bench_fig6_cell(n_jobs: int = 800) -> float:
     return run()
 
 
-def bench_serve_roundtrip(n_bids: int = 20) -> float:
-    """µs per HTTP bid→outcome roundtrip against an in-process live service.
-
-    The measured path is what a client sees between POSTing a bid and
-    reading the negotiation outcome: loopback socket, request parse,
-    admission evaluation, pricing, contract formation, JSON response.
-    The awarded tasks execute as subprocesses in the background; the
-    drain that settles them runs after the clock stops.
-    """
+def _serve_roundtrip_us(n_bids: int) -> float:
+    """µs per HTTP bid→outcome roundtrip against a freshly booted service."""
     import asyncio
 
     from repro.live.config import LiveSiteSpec, default_config
@@ -243,17 +240,114 @@ def bench_serve_roundtrip(n_bids: int = 20) -> float:
             await writer.wait_closed()
 
         await roundtrip()  # warm-up: first-connection setup costs
-        start = time.perf_counter()
+        # per-bid medians, not a mean over the total: the awarded tasks
+        # spawn subprocesses in the background, and a fork landing inside
+        # one roundtrip skews a mean far more than the measured path
+        samples = []
         for _ in range(n_bids):
+            start = time.perf_counter()
             await roundtrip()
-        elapsed = time.perf_counter() - start
+            samples.append(time.perf_counter() - start)
         server.close()
         await server.wait_closed()
         await service.drain()
         await service.stop()
-        return elapsed / n_bids * 1e6
+        return statistics.median(samples) * 1e6
 
     return asyncio.run(run())
+
+
+def bench_serve_roundtrip(n_bids: int = 20) -> float:
+    """µs per HTTP bid→outcome roundtrip against an in-process live service.
+
+    The measured path is what a client sees between POSTing a bid and
+    reading the negotiation outcome: loopback socket, request parse,
+    admission evaluation, pricing, contract formation, JSON response.
+    The awarded tasks execute as subprocesses in the background; the
+    drain that settles them runs after the clock stops.
+    """
+    return _serve_roundtrip_us(n_bids)
+
+
+def bench_serve_journal_overhead(n_bids: int = 20) -> float:
+    """fsync=interval / fsync=off time ratio for the serve bid roundtrip.
+
+    Both services journal the full WAL sequence — accept intent, bid,
+    quote, and award records — through a
+    :class:`~repro.obs.flight.JournalSink`; they differ only in fsync
+    policy, so the ratio isolates the *durability* cost on top of the
+    recording cost already pinned by ``flight_record_overhead``.  The
+    ratio is capped (≤ 1.10 by ``scripts/bench_compare.py``): crash
+    durability may not cost more than 10% of intake latency.
+
+    Paired design: both services share one event loop and the bids
+    alternate between them, so machine-level drift hits both sides
+    equally and cancels out of the ratio of medians.  Neither service's
+    dispatch loop is started — awarded tasks only queue, so no
+    subprocess ever forks mid-measurement (on a small container a fork
+    landing inside a roundtrip dwarfs the fsync being measured).
+    """
+    import asyncio
+    import tempfile
+
+    from repro.live.config import LiveSiteSpec, default_config
+    from repro.live.httpd import start_http
+    from repro.live.service import LiveService
+    from repro.obs.flight import FlightRecorder, JournalSink
+
+    body = json.dumps({"runtime": 2.0, "value": 50.0, "decay": 0.1}).encode()
+    request = (
+        b"POST /bids HTTP/1.1\r\nHost: bench\r\nContent-Length: "
+        + str(len(body)).encode()
+        + b"\r\nConnection: close\r\n\r\n"
+        + body
+    )
+
+    def make_config(site_id: str):
+        return default_config(
+            rate=1000.0,
+            sites=(LiveSiteSpec(site_id=site_id, slots=2),),
+        )
+
+    async def run(tmp: str) -> float:
+        flight_off = FlightRecorder(
+            sink=JournalSink(os.path.join(tmp, "off.jsonl"), fsync="off"),
+            clock_domain="wall",
+        )
+        flight_interval = FlightRecorder(
+            sink=JournalSink(os.path.join(tmp, "interval.jsonl"), fsync="interval"),
+            clock_domain="wall",
+        )
+        plain = LiveService(make_config("bench-plain"), flight=flight_off)
+        journaled = LiveService(make_config("bench-journal"), flight=flight_interval)
+        plain_server, plain_port = await start_http(plain, "127.0.0.1", 0)
+        journal_server, journal_port = await start_http(journaled, "127.0.0.1", 0)
+
+        async def roundtrip(port: int) -> float:
+            start = time.perf_counter()
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.write(request)
+            await writer.drain()
+            await reader.read()
+            writer.close()
+            await writer.wait_closed()
+            return time.perf_counter() - start
+
+        await roundtrip(plain_port)  # warm-up both paths
+        await roundtrip(journal_port)
+        plain_samples, journal_samples = [], []
+        for _ in range(n_bids):
+            plain_samples.append(await roundtrip(plain_port))
+            journal_samples.append(await roundtrip(journal_port))
+        for server in (plain_server, journal_server):
+            server.close()
+            await server.wait_closed()
+        flight_off.close()
+        flight_interval.close()
+        return statistics.median(journal_samples) / statistics.median(plain_samples)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        return asyncio.run(run(tmp))
 
 
 def bench_flight_overhead(n_jobs: int = 600) -> float:
@@ -348,6 +442,9 @@ def collect(quick: bool = False, repeats: Optional[int] = None,
     )
     results["serve_roundtrip_us"] = _median_of(
         lambda: bench_serve_roundtrip(8 if quick else 20), repeats
+    )
+    results["serve_journal_overhead"] = _median_of(
+        lambda: bench_serve_journal_overhead(8 if quick else 20), repeats
     )
     results["flight_record_overhead"] = _median_of(
         lambda: bench_flight_overhead(int(600 * scale) or 150), repeats

@@ -56,12 +56,39 @@ TASK_STATUS_KEYS = frozenset(
 class ApiError(LiveServiceError):
     """A malformed or unserviceable API request.
 
-    Carries the HTTP status the transport layer should answer with.
+    Carries the HTTP status the transport layer should answer with,
+    plus an optional ``Retry-After`` hint (wall seconds) for the
+    backpressure answers — 429 (shed at the queue watermark) and 503
+    (draining) — that a well-behaved client turns into backoff.
     """
 
-    def __init__(self, message: str, status: int = 400) -> None:
+    def __init__(
+        self,
+        message: str,
+        status: int = 400,
+        retry_after: Optional[float] = None,
+    ) -> None:
         super().__init__(message)
         self.status = status
+        self.retry_after = retry_after
+
+
+#: Longest accepted ``Idempotency-Key`` header value.
+MAX_IDEMPOTENCY_KEY = 256
+
+
+def parse_idempotency_key(raw: Optional[str]) -> Optional[str]:
+    """Validate an ``Idempotency-Key`` header value (None passes through)."""
+    if raw is None:
+        return None
+    key = raw.strip()
+    if not key:
+        raise ApiError("Idempotency-Key must not be empty")
+    if len(key) > MAX_IDEMPOTENCY_KEY:
+        raise ApiError(
+            f"Idempotency-Key longer than {MAX_IDEMPOTENCY_KEY} characters"
+        )
+    return key
 
 
 @dataclass(frozen=True)

@@ -42,20 +42,31 @@ class WallClock:
     rate:
         Time units per wall-clock second (> 0, finite).  1.0 means one
         unit is one second; larger values accelerate the market.
+    start:
+        Market time at construction (default 0.0).  Crash recovery
+        resumes the clock from the last journaled timestamp so recovered
+        time continues the pre-crash timeline — contracts signed before
+        the crash can still settle (settlement must not precede
+        signing), and the stitched journal stays monotonic.
     """
 
-    __slots__ = ("rate", "_epoch")
+    __slots__ = ("rate", "start", "_epoch")
 
-    def __init__(self, rate: float = 1.0) -> None:
+    def __init__(self, rate: float = 1.0, start: float = 0.0) -> None:
         if not math.isfinite(rate) or rate <= 0:
             raise LiveServiceError(f"clock rate must be finite and > 0, got {rate!r}")
+        if not math.isfinite(start) or start < 0:
+            raise LiveServiceError(
+                f"clock start must be finite and >= 0, got {start!r}"
+            )
         self.rate = float(rate)
+        self.start = float(start)
         self._epoch = time.monotonic()
 
     @property
     def now(self) -> float:
         """Current time in market units since service start."""
-        return (time.monotonic() - self._epoch) * self.rate
+        return self.start + (time.monotonic() - self._epoch) * self.rate
 
     def to_seconds(self, units: float) -> float:
         """Convert a duration in market units to wall-clock seconds."""

@@ -67,6 +67,16 @@ class LiveConfig:
     #: wall seconds to wait for in-flight work at shutdown before the
     #: remaining subprocesses are killed and their contracts abandoned
     drain_grace: float = 30.0
+    #: refuse new bids with 429 once this many tasks are queued across
+    #: all sites (0 disables shedding) — the backpressure valve that
+    #: keeps the executor from saturating under overload
+    queue_watermark: int = 0
+    #: Retry-After hint (wall seconds) on 429 shed and 503 drain answers
+    retry_after_s: float = 1.0
+    #: most-recent Idempotency-Key responses retained for replay; the
+    #: dedup table is bounded FIFO, so a retry older than this many
+    #: distinct keys can no longer be deduplicated
+    idempotency_capacity: int = 1024
 
     def __post_init__(self) -> None:
         if not 0 <= self.port <= 65535:
@@ -93,6 +103,18 @@ class LiveConfig:
         if self.drain_grace < 0:
             raise LiveServiceError(
                 f"drain_grace must be >= 0, got {self.drain_grace!r}"
+            )
+        if self.queue_watermark < 0:
+            raise LiveServiceError(
+                f"queue_watermark must be >= 0, got {self.queue_watermark!r}"
+            )
+        if not self.retry_after_s > 0:
+            raise LiveServiceError(
+                f"retry_after_s must be > 0, got {self.retry_after_s!r}"
+            )
+        if self.idempotency_capacity < 1:
+            raise LiveServiceError(
+                f"idempotency_capacity must be >= 1, got {self.idempotency_capacity!r}"
             )
 
 

@@ -25,7 +25,7 @@ from __future__ import annotations
 import asyncio
 import sys
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from repro.errors import LiveServiceError
 from repro.sim.clock import Clock
@@ -86,9 +86,17 @@ class SubprocessExecutor:
         self.killed = 0
 
     async def run(
-        self, argv: Sequence[str], timeout_units: Optional[float]
+        self,
+        argv: Sequence[str],
+        timeout_units: Optional[float],
+        on_spawn: Optional[Callable[[int], None]] = None,
     ) -> ExecutionReport:
-        """Run *argv* to completion; kill it past *timeout_units*."""
+        """Run *argv* to completion; kill it past *timeout_units*.
+
+        ``on_spawn`` is called with the child's PID immediately after
+        the fork — before any polling — so the caller can journal the
+        spawn durably while the child is guaranteed still alive.
+        """
         async with self._gate:
             self.running += 1
             self.peak_running = max(self.peak_running, self.running)
@@ -100,6 +108,8 @@ class SubprocessExecutor:
                 stderr=asyncio.subprocess.DEVNULL,
             )
             self._procs.add(proc)
+            if on_spawn is not None:
+                on_spawn(proc.pid)
             killed = False
             try:
                 waiter = asyncio.ensure_future(proc.wait())

@@ -26,7 +26,14 @@ from __future__ import annotations
 import asyncio
 import json
 
-from repro.live.api import ApiError, bid_result_doc, parse_bid_body, task_status_doc
+from typing import Optional
+
+from repro.live.api import (
+    ApiError,
+    parse_bid_body,
+    parse_idempotency_key,
+    task_status_doc,
+)
 from repro.live.service import LiveService
 from repro.obs.prom import PROMETHEUS_CONTENT_TYPE, prometheus_text
 
@@ -39,6 +46,7 @@ _REASONS = {
     404: "Not Found",
     405: "Method Not Allowed",
     413: "Payload Too Large",
+    429: "Too Many Requests",
     500: "Internal Server Error",
     503: "Service Unavailable",
 }
@@ -48,7 +56,9 @@ class _PlainText(str):
     """Marker: a route payload already rendered as Prometheus text."""
 
 
-def _response(status: int, payload: object) -> bytes:
+def _response(
+    status: int, payload: object, headers: Optional[dict[str, str]] = None
+) -> bytes:
     if isinstance(payload, _PlainText):
         body = payload.encode("utf-8")
         content_type = PROMETHEUS_CONTENT_TYPE
@@ -60,15 +70,26 @@ def _response(status: int, payload: object) -> bytes:
         f"HTTP/1.1 {status} {reason}\r\n"
         f"Content-Type: {content_type}\r\n"
         f"Content-Length: {len(body)}\r\n"
-        f"Connection: close\r\n"
-        f"\r\n"
     )
+    for name, value in (headers or {}).items():
+        head += f"{name}: {value}\r\n"
+    head += "Connection: close\r\n\r\n"
     return head.encode("ascii") + body
+
+
+def _format_retry_after(seconds: float) -> str:
+    """Render a Retry-After value: integer when whole, else the float.
+
+    Sub-second hints are non-standard HTTP but this is a closed loop —
+    :mod:`repro.live.client` parses floats, and tests want sub-second
+    backoff.
+    """
+    return str(int(seconds)) if float(seconds).is_integer() else f"{seconds:g}"
 
 
 async def _read_request(
     reader: asyncio.StreamReader,
-) -> tuple[str, str, bytes, str]:
+) -> tuple[str, str, bytes, str, Optional[str]]:
     """Parse the request line, headers, and body; raises ApiError."""
     try:
         request_line = await reader.readline()
@@ -81,6 +102,7 @@ async def _read_request(
 
     content_length = 0
     accept = ""
+    idempotency_key: Optional[str] = None
     while True:
         line = await reader.readline()
         if line in (b"\r\n", b"\n", b""):
@@ -94,22 +116,30 @@ async def _read_request(
                 raise ApiError(f"bad Content-Length: {value.strip()!r}") from exc
         elif header == "accept":
             accept = value.strip()
+        elif header == "idempotency-key":
+            idempotency_key = value.strip()
     if content_length > MAX_BODY:
         raise ApiError(f"body too large ({content_length} bytes)", status=413)
     body = await reader.readexactly(content_length) if content_length else b""
-    return method, path, body, accept
+    return method, path, body, accept, idempotency_key
 
 
 def _route(
-    service: LiveService, method: str, path: str, body: bytes, accept: str = ""
-) -> tuple[int, object]:
+    service: LiveService,
+    method: str,
+    path: str,
+    body: bytes,
+    accept: str = "",
+    idempotency_key: Optional[str] = None,
+) -> tuple[int, object, dict[str, str]]:
     if method == "POST" and path == "/bids":
+        key = parse_idempotency_key(idempotency_key)
         requests = parse_bid_body(body)
-        records = service.submit_bids(requests)
-        docs = [bid_result_doc(r) for r in records]
-        return 200, docs[0] if len(docs) == 1 and len(requests) == 1 else {"results": docs}
+        doc, replayed = service.handle_bids(requests, idempotency_key=key)
+        headers = {"Idempotency-Replayed": "true"} if replayed else {}
+        return 200, doc, headers
     if method == "GET" and path == "/tasks":
-        return 200, {"tasks": [task_status_doc(r) for r in service.task_records()]}
+        return 200, {"tasks": [task_status_doc(r) for r in service.task_records()]}, {}
     if method == "GET" and path.startswith("/tasks/"):
         raw = path[len("/tasks/") :]
         try:
@@ -119,9 +149,9 @@ def _route(
         record = service.record_of_task(tid)
         if record is None:
             raise ApiError(f"no such task: {tid}", status=404)
-        return 200, task_status_doc(record)
+        return 200, task_status_doc(record), {}
     if method == "GET" and path == "/status":
-        return 200, service.status()
+        return 200, service.status(), {}
     if method == "GET" and path == "/metrics":
         snapshot = service.obs.snapshot() if service.obs is not None else {}
         rates = service.rate_snapshot()
@@ -130,10 +160,10 @@ def _route(
             # The obs snapshot nests instruments under "metrics" next to
             # runs/spans/profile sections; the exposition wants instruments only.
             instruments = snapshot.get("metrics", snapshot)
-            return 200, _PlainText(prometheus_text(instruments, extra_gauges=gauges))
-        return 200, {"metrics": snapshot, "rates": rates}
+            return 200, _PlainText(prometheus_text(instruments, extra_gauges=gauges)), {}
+        return 200, {"metrics": snapshot, "rates": rates}, {}
     if method == "GET" and path == "/healthz":
-        return 200, {"ok": True}
+        return 200, {"ok": True}, {}
     if path in ("/bids", "/tasks", "/status", "/metrics", "/healthz") or path.startswith(
         "/tasks/"
     ):
@@ -147,16 +177,19 @@ async def _handle(
     writer: asyncio.StreamWriter,
 ) -> None:
     try:
+        headers: dict[str, str] = {}
         try:
-            method, path, body, accept = await _read_request(reader)
-            status, payload = _route(service, method, path, body, accept)
+            method, path, body, accept, idem = await _read_request(reader)
+            status, payload, headers = _route(service, method, path, body, accept, idem)
         except ApiError as exc:
             status, payload = exc.status, {"error": str(exc)}
+            if exc.retry_after is not None:
+                headers["Retry-After"] = _format_retry_after(exc.retry_after)
         except asyncio.IncompleteReadError:
             return  # client hung up mid-request; nothing to answer
         except Exception as exc:  # defensive: never kill the server loop
             status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
-        writer.write(_response(status, payload))
+        writer.write(_response(status, payload, headers))
         await writer.drain()
     except ConnectionError:
         pass

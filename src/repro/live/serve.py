@@ -108,6 +108,44 @@ def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
         help="stream a flight recording (JSONL) of every market decision "
         "to PATH; feed it to `repro audit` / `repro replay` afterwards",
     )
+    parser.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="write-ahead journal: a flight recording with a durable "
+        "fsync policy (see --fsync) that also records intents before "
+        "the service acts, enabling --recover after a crash",
+    )
+    parser.add_argument(
+        "--fsync",
+        choices=("always", "interval", "off"),
+        default="interval",
+        help="journal fsync policy (default %(default)s: sync every few "
+        "records and at close)",
+    )
+    parser.add_argument(
+        "--recover",
+        default=None,
+        metavar="JOURNAL",
+        help="replay a crashed service's journal before opening intake: "
+        "kill orphaned subprocesses, abandon-settle open contracts, "
+        "restore the idempotency table, then append to the same journal",
+    )
+    parser.add_argument(
+        "--queue-watermark",
+        type=int,
+        default=0,
+        metavar="N",
+        help="refuse new bids with 429 once N tasks are queued across "
+        "all sites (0 disables shedding)",
+    )
+    parser.add_argument(
+        "--retry-after",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="Retry-After hint sent with 429/503 answers",
+    )
 
 
 def config_from_args(args: argparse.Namespace) -> LiveConfig:
@@ -131,6 +169,8 @@ def config_from_args(args: argparse.Namespace) -> LiveConfig:
         timeout_factor=args.timeout_factor,
         max_restarts=args.max_restarts,
         drain_grace=args.drain_grace,
+        queue_watermark=getattr(args, "queue_watermark", 0),
+        retry_after_s=getattr(args, "retry_after", 1.0),
     )
 
 
@@ -164,14 +204,56 @@ def _write_artifacts(obs, args) -> None:
 
 
 async def _serve(config: LiveConfig, args: argparse.Namespace) -> int:
+    from repro.obs import FlightRecorder, JournalSink, read_recording
+
     obs = _make_obs(args)
     obs.begin_run("live")
-    flight = None
-    if getattr(args, "flight_out", None):
-        from repro.obs import FlightRecorder
 
+    recover_path = getattr(args, "recover", None)
+    journal_path = getattr(args, "journal", None) or recover_path
+    plan = None
+    if recover_path:
+        from repro.live.recovery import plan_recovery
+
+        plan = plan_recovery(read_recording(recover_path))
+
+    flight = None
+    flight_path = None
+    if journal_path:
+        sink = JournalSink(
+            journal_path,
+            fsync=getattr(args, "fsync", "interval"),
+            # recovery appends: post-crash records stitch onto the
+            # pre-crash journal in one auditable file
+            append=recover_path is not None and journal_path == recover_path,
+        )
+        flight = FlightRecorder(sink=sink, clock_domain="wall")
+        flight_path = journal_path
+        if plan is not None:
+            flight.seq = plan.next_seq
+    elif getattr(args, "flight_out", None):
         flight = FlightRecorder(args.flight_out, clock_domain="wall")
-    service = LiveService(config, obs=obs, flight=flight)
+        flight_path = args.flight_out
+
+    clock = None
+    if plan is not None:
+        from repro.live.clock import WallClock
+
+        # resume market time from the last journaled instant so
+        # pre-crash contracts can settle (never before their signing)
+        clock = WallClock(config.rate, start=plan.resume_at)
+
+    service = LiveService(config, obs=obs, clock=clock, flight=flight)
+    if plan is not None:
+        from repro.live.recovery import apply_recovery
+
+        resettled = apply_recovery(service, plan, now=service.clock.now)
+        print(
+            f"recovered {recover_path}: {resettled} contract(s) re-settled, "
+            f"{len(plan.orphans)} orphan(s) addressed, "
+            f"{len(plan.responses)} idempotent response(s) restored"
+        )
+        sys.stdout.flush()
     await service.start()
     server, port = await start_http(service, config.host, config.port)
     print(f"repro.live listening on http://{config.host}:{port} "
@@ -200,7 +282,7 @@ async def _serve(config: LiveConfig, args: argparse.Namespace) -> int:
     obs.end_run(service.clock.now)
     if flight is not None:
         flight.close()
-        print(f"wrote {args.flight_out} ({len(flight.events)} flight records)")
+        print(f"wrote {flight_path} ({len(flight.events)} flight records)")
     _write_artifacts(obs, args)
 
     status = service.status()

@@ -28,7 +28,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.errors import LiveServiceError
-from repro.live.api import ApiError, BidRequest
+from repro.live.api import ApiError, BidRequest, bid_result_doc
 from repro.live.clock import WallClock
 from repro.live.config import LiveConfig
 from repro.live.executor import ExecutionReport, SubprocessExecutor
@@ -46,6 +46,44 @@ STRATEGIES = {
     "best-surplus": best_surplus,
     "earliest": earliest_completion,
 }
+
+
+class IdempotencyTable:
+    """Bounded FIFO map from ``Idempotency-Key`` to the stored response.
+
+    A retried ``POST /bids`` carrying a key already in the table gets
+    the original response document back instead of a second
+    negotiation — the "exactly one award per logical request" half of
+    the durability contract.  The table is bounded: past ``capacity``
+    distinct keys the oldest entry is evicted, so a sufficiently stale
+    retry degrades to a fresh negotiation rather than unbounded memory.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise LiveServiceError(f"capacity must be >= 1, got {capacity!r}")
+        self.capacity = capacity
+        self._entries: dict[str, object] = {}
+        self.hits = 0
+
+    def get(self, key: str) -> Optional[object]:
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.hits += 1
+        return entry
+
+    def put(self, key: str, response: object) -> None:
+        if key in self._entries:
+            return  # first response wins; retries must replay it
+        while len(self._entries) >= self.capacity:
+            self._entries.pop(next(iter(self._entries)))
+        self._entries[key] = response
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
 
 
 @dataclass
@@ -126,6 +164,9 @@ class LiveService:
         self.records: list[LiveRecord] = []
         self._record_of_task: dict[int, LiveRecord] = {}
         self._negotiation_ids = itertools.count()
+        self.idempotency = IdempotencyTable(config.idempotency_capacity)
+        #: bids refused at the queue watermark (429 answers)
+        self.sheds = 0
         self.draining = False
         #: exceptions raised by execution tasks (executor bugs, not task
         #: failures — those settle normally); surfaced via GET /status
@@ -138,10 +179,49 @@ class LiveService:
     # ------------------------------------------------------------------
     # Intake (called by the HTTP layer, on the event loop thread)
     # ------------------------------------------------------------------
+    @property
+    def queued_total(self) -> int:
+        """Tasks awaiting dispatch across all sites (the shed signal)."""
+        return sum(site.queued_count for site in self.sites)
+
+    def _check_intake(self, client_id: Optional[str] = None) -> None:
+        """Admission control: draining → 503, over the watermark → 429.
+
+        Checked once per request (not per bid within a batch) so a
+        batch is admitted or refused atomically — a mid-batch refusal
+        would discard negotiated awards from the response and make the
+        client's retry double-award them.
+        """
+        if self.draining:
+            raise ApiError(
+                "service is draining; not accepting bids",
+                status=503,
+                retry_after=self.config.retry_after_s,
+            )
+        watermark = self.config.queue_watermark
+        if watermark and self.queued_total >= watermark:
+            self.sheds += 1
+            if self.flight is not None:
+                self.flight.shed(
+                    self.clock.now,
+                    queued=self.queued_total,
+                    watermark=watermark,
+                    retry_after_s=self.config.retry_after_s,
+                    client_id=client_id,
+                )
+            raise ApiError(
+                f"queue depth {self.queued_total} at watermark {watermark}; "
+                "retry later",
+                status=429,
+                retry_after=self.config.retry_after_s,
+            )
+
     def submit_bid(self, request: BidRequest) -> LiveRecord:
         """Negotiate one bid with every site; returns its record."""
-        if self.draining:
-            raise ApiError("service is draining; not accepting bids", status=503)
+        self._check_intake(request.client_id)
+        return self._negotiate_bid(request)
+
+    def _negotiate_bid(self, request: BidRequest) -> LiveRecord:
         now = self.clock.now
         bid = TaskBid(
             runtime=request.runtime,
@@ -153,6 +233,20 @@ class LiveService:
             # latency count as delay, the sim's brokered semantics
             released_at=now,
         )
+        if self.flight is not None:
+            # write-ahead: the intent to negotiate is durable before any
+            # market state changes, so recovery can tell "accepted but
+            # never awarded" from "never arrived"
+            self.flight.intent(
+                now,
+                "accept",
+                bid_id=bid.bid_id,
+                client_id=bid.client_id,
+                runtime=bid.runtime,
+                value=bid.value,
+                decay=bid.decay,
+                bound=bid.bound,
+            )
         nid = next(self._negotiation_ids)
         if self.obs is not None:
             self.obs.negotiation_started(nid, now)
@@ -200,7 +294,44 @@ class LiveService:
         return record
 
     def submit_bids(self, requests: list[BidRequest]) -> list[LiveRecord]:
-        return [self.submit_bid(r) for r in requests]
+        self._check_intake(requests[0].client_id if requests else None)
+        return [self._negotiate_bid(r) for r in requests]
+
+    def handle_bids(
+        self,
+        requests: list[BidRequest],
+        idempotency_key: Optional[str] = None,
+    ) -> tuple[object, bool]:
+        """Process a ``POST /bids`` request with idempotent replay.
+
+        Returns ``(response_doc, replayed)``.  A request replaying a
+        known ``Idempotency-Key`` gets the stored response document
+        back — no second negotiation, so a retried award stays one
+        award.  Fresh keyed responses are journaled (``intent`` record,
+        action ``response``) before the reply leaves the socket, so the
+        dedup table survives a crash.
+        """
+        if idempotency_key is not None:
+            stored = self.idempotency.get(idempotency_key)
+            if stored is not None:
+                return stored, True
+        records = self.submit_bids(requests)
+        docs = [bid_result_doc(r) for r in records]
+        doc: object = docs[0] if len(docs) == 1 else {"results": docs}
+        if idempotency_key is not None:
+            self.idempotency.put(idempotency_key, doc)
+            if self.flight is not None:
+                self.flight.intent(
+                    self.clock.now,
+                    "response",
+                    idempotency_key=idempotency_key,
+                    response=doc,
+                )
+        return doc, False
+
+    def restore_response(self, idempotency_key: str, doc: object) -> None:
+        """Re-seed the dedup table from a journaled response (recovery)."""
+        self.idempotency.put(idempotency_key, doc)
 
     def _wall_now(self) -> float:
         """Wall seconds since the clock epoch (market units / rate)."""
@@ -301,7 +432,7 @@ class LiveService:
                     self.clock.now,
                     site.site_id,
                     revenue=site.revenue,
-                    contracts=len(site.contracts),
+                    contracts=site.contracts_total,
                     quotes_issued=site.quotes_issued,
                     quotes_declined=site.quotes_declined,
                 )
@@ -351,6 +482,14 @@ class LiveService:
             "errors": list(self.errors),
             "negotiations": self.broker.negotiations,
             "rejections": self.broker.rejections,
+            "sheds": self.sheds,
+            "queued": self.queued_total,
+            "queue_watermark": self.config.queue_watermark,
+            "idempotency": {
+                "entries": len(self.idempotency),
+                "hits": self.idempotency.hits,
+                "capacity": self.idempotency.capacity,
+            },
             "tasks": states,
             "revenue": sum(site.revenue for site in self.sites),
             "sites": [

@@ -103,6 +103,9 @@ class LiveSite:
         self.revenue = 0.0
         self.quotes_issued = 0
         self.quotes_declined = 0
+        #: contracts settled before a crash, carried in by recovery so
+        #: the site summary reconciles over the stitched journal
+        self.carried_contracts = 0
 
     # ------------------------------------------------------------------
     # Negotiation surface (Broker-compatible, mirrors MarketSite)
@@ -209,9 +212,27 @@ class LiveSite:
         timeout = (
             self.timeout_factor * task.estimate if self.timeout_factor > 0 else None
         )
-        report = await self.executor.run(argv, timeout)
+        report = await self.executor.run(
+            argv, timeout, on_spawn=lambda pid: self._note_spawn(task, argv, pid)
+        )
         self._report_of[task.tid] = report
         self._on_exit(task, report)
+
+    def _note_spawn(self, task: Task, argv: tuple[str, ...], pid: int) -> None:
+        """Journal a spawn intent: the PID (plus argv[0] to guard against
+        PID reuse) lets crash recovery find and kill orphaned children."""
+        if self.flight is None:
+            return
+        contract = self._contract_of.get(task.tid)
+        self.flight.intent(
+            self.clock.now,
+            "spawn",
+            site_id=self.site_id,
+            task_tid=task.tid,
+            contract_id=contract.contract_id if contract is not None else None,
+            pid=pid,
+            argv0=argv[0],
+        )
 
     def _on_exit(self, task: Task, report: ExecutionReport) -> None:
         now = self.clock.now
@@ -307,6 +328,30 @@ class LiveSite:
     @property
     def open_contracts(self) -> int:
         return len(self._contract_of)
+
+    @property
+    def contracts_total(self) -> int:
+        """Awards across the site's whole journal, pre-crash included."""
+        return self.carried_contracts + len(self.contracts)
+
+    def carry_books(
+        self,
+        revenue: float,
+        contracts: int,
+        quotes_issued: int,
+        quotes_declined: int,
+    ) -> None:
+        """Seed the books with pre-crash totals (recovery only).
+
+        The drain-time site summary must reconcile against *every*
+        settlement and award in the stitched journal, not just the ones
+        this process made — so recovery folds the replayed history into
+        the counters before intake resumes.
+        """
+        self.revenue += float(revenue)
+        self.carried_contracts += int(contracts)
+        self.quotes_issued += int(quotes_issued)
+        self.quotes_declined += int(quotes_declined)
 
     def report_of(self, task_tid: int) -> Optional[ExecutionReport]:
         return self._report_of.get(task_tid)

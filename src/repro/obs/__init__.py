@@ -43,7 +43,13 @@ from repro.obs.export import (
     trace_to_jsonl,
     write_chrome_trace,
 )
-from repro.obs.flight import FLIGHT_SCHEMA, FlightRecorder, Recording, read_recording
+from repro.obs.flight import (
+    FLIGHT_SCHEMA,
+    FlightRecorder,
+    JournalSink,
+    Recording,
+    read_recording,
+)
 from repro.obs.instrument import Observability, current, null_observability, observing
 from repro.obs.prom import PROMETHEUS_CONTENT_TYPE, RateWindow, prometheus_text
 from repro.obs.profile import Profiler, TimerStat
@@ -66,6 +72,7 @@ __all__ = [
     "FlightRecorder",
     "Gauge",
     "Histogram",
+    "JournalSink",
     "MetricsRegistry",
     "NullRegistry",
     "Observability",

@@ -22,6 +22,22 @@ from repro.valuefn.linear import LinearDecayValueFunction
 _bid_ids = itertools.count()
 
 
+def reserve_bid_ids(next_id: int) -> int:
+    """Advance the bid-id counter to at least *next_id*; returns the floor.
+
+    Crash recovery calls this after replaying a journal: a restarted
+    process would otherwise hand out ids already on the record, and the
+    stitched journal would show two distinct bids sharing one id.  The
+    counter never moves backwards — one id is consumed to learn its
+    position, so no previously issued id can recur.
+    """
+    global _bid_ids
+    current = next(_bid_ids)
+    floor = max(current + 1, int(next_id))
+    _bid_ids = itertools.count(floor)
+    return floor
+
+
 @dataclass(frozen=True)
 class TaskBid:
     """A client's sealed bid for running one task.

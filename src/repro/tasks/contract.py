@@ -19,6 +19,20 @@ from repro.valuefn.linear import LinearDecayValueFunction
 _contract_ids = itertools.count()
 
 
+def reserve_contract_ids(next_id: int) -> int:
+    """Advance the contract-id counter to at least *next_id*.
+
+    The crash-recovery counterpart of ``reserve_bid_ids``: keeps
+    post-recovery contract ids disjoint from everything already in the
+    journal.  Returns the new floor.
+    """
+    global _contract_ids
+    current = next(_contract_ids)
+    floor = max(current + 1, int(next_id))
+    _contract_ids = itertools.count(floor)
+    return floor
+
+
 class Contract:
     """A signed agreement between a client and a site for one task.
 

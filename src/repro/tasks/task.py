@@ -28,6 +28,20 @@ from repro.valuefn.linear import LinearDecayValueFunction
 _task_ids = itertools.count()
 
 
+def reserve_task_ids(next_id: int) -> int:
+    """Advance the task-id counter to at least *next_id*.
+
+    Crash recovery reserves past a replayed journal's maximum
+    ``task_tid`` so post-recovery awards don't reuse a tid already on
+    the record.  Returns the new floor; never moves backwards.
+    """
+    global _task_ids
+    current = next(_task_ids)
+    floor = max(current + 1, int(next_id))
+    _task_ids = itertools.count(floor)
+    return floor
+
+
 class TaskState(enum.Enum):
     CREATED = "created"
     SUBMITTED = "submitted"

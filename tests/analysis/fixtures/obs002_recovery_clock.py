@@ -1,0 +1,23 @@
+# repro-lint: module=repro.live.recovery.fixture_example
+"""OBS002 fixture: crash recovery is timestamp-passive despite living
+under the wall-clock-allowlisted ``repro.live`` package.
+
+Recovery replays journaled timestamps and takes ``now`` as a parameter;
+reading a clock here would let recovered settlements drift from the
+caller-chosen resume instant.  The passivity rule wins over the package
+allowlist.
+"""
+
+import time
+
+
+def resettle_all(contracts: list, journal_events: list) -> None:
+    now = time.monotonic()  # expect: OBS002
+    for contract in contracts:
+        contract.settle_abandoned(now, release=0.0)
+
+
+def resettle_all_correctly(contracts: list, now: float) -> None:
+    # the sanctioned shape: now arrives from the caller's clock.now
+    for contract in contracts:
+        contract.settle_abandoned(now, release=0.0)

@@ -28,6 +28,8 @@ from repro.analysis.static.modulemap import (
     is_hot_path,
     is_print_allowed,
     is_sim_path,
+    is_timestamp_passive,
+    is_wall_clock_allowed,
     module_name_for_path,
     module_pragma,
 )
@@ -212,6 +214,15 @@ def test_live_mode_scoping():
     assert is_print_allowed("repro.live.serve")
     assert not is_print_allowed("repro.live.service")
     assert not is_print_allowed("repro.live.httpd")
+    # the retry client's sleeps/timeouts/deadlines read real time by
+    # design — covered by the repro.live allowlist entry
+    assert not is_sim_path("repro.live.client")
+    assert is_wall_clock_allowed("repro.live.client")
+    # crash recovery opts back out: timestamp-passive (OBS002) even
+    # though it sits under the allowlisted repro.live package
+    assert is_timestamp_passive("repro.live.recovery")
+    assert not is_timestamp_passive("repro.live.client")
+    assert not is_timestamp_passive("repro.live.service")
 
 
 # ----------------------------------------------------------------------

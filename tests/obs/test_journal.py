@@ -1,0 +1,112 @@
+"""JournalSink: the flight recorder's crash-durable write path.
+
+The sink's contract is what recovery leans on: every fsync policy
+produces the same parseable JSONL, ``append=True`` stitches onto an
+existing journal (exactly one header, torn tail repaired), and the
+fsync cadence matches the documented policy.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.flight import (
+    FSYNC_INTERVAL_RECORDS,
+    FlightRecorder,
+    JournalSink,
+    read_recording,
+)
+
+
+def test_bad_fsync_policy_is_rejected(tmp_path):
+    with pytest.raises(ValueError, match="fsync policy"):
+        JournalSink(str(tmp_path / "j.jsonl"), fsync="sometimes")
+
+
+@pytest.mark.parametrize("policy", ["always", "interval", "off"])
+def test_every_policy_writes_the_same_parseable_journal(tmp_path, policy):
+    path = str(tmp_path / f"{policy}.jsonl")
+    with FlightRecorder(sink=JournalSink(path, fsync=policy), clock_domain="wall") as flight:
+        for i in range(5):
+            flight.intent(float(i), "accept", bid_id=i)
+    recording = read_recording(path)
+    assert recording.clock == "wall"
+    assert [e["bid_id"] for e in recording.of_kind("intent")] == list(range(5))
+
+
+def test_fsync_cadence_per_policy(tmp_path):
+    n = FSYNC_INTERVAL_RECORDS * 2 + 3
+
+    def write(policy):
+        sink = JournalSink(str(tmp_path / f"{policy}.jsonl"), fsync=policy)
+        for i in range(n):
+            sink.write_line("{}")
+        return sink
+
+    always = write("always")
+    assert always.syncs == n
+    interval = write("interval")
+    # one sync per full interval; the partial tail syncs only at close
+    assert interval.syncs == 2
+    interval.close()
+    assert interval.syncs == 3
+    off = write("off")
+    off.close()
+    assert off.syncs == 0
+
+
+def test_close_is_idempotent_and_reported(tmp_path):
+    sink = JournalSink(str(tmp_path / "j.jsonl"), fsync="always")
+    assert not sink.closed
+    sink.close()
+    assert sink.closed
+    sink.close()  # second close is a no-op, not an error
+
+
+def test_append_continues_the_journal_with_one_header(tmp_path):
+    path = str(tmp_path / "j.jsonl")
+    with FlightRecorder(sink=JournalSink(path, fsync="always"), clock_domain="wall") as flight:
+        flight.intent(1.0, "accept", bid_id=1)
+        pre_crash_seq = flight.seq
+
+    resumed_sink = JournalSink(path, fsync="always", append=True)
+    assert resumed_sink.appending
+    resumed = FlightRecorder(sink=resumed_sink, clock_domain="wall")
+    resumed.seq = pre_crash_seq  # recovery resumes the numbering
+    resumed.intent(2.0, "accept", bid_id=2)
+    resumed.close()
+
+    recording = read_recording(path)
+    headers = open(path).read().count('"kind": "header"')
+    assert headers == 1, "appending must not write a second header"
+    assert [e["seq"] for e in recording.events] == [1, 2]
+    assert [e["bid_id"] for e in recording.of_kind("intent")] == [1, 2]
+
+
+def test_append_repairs_a_torn_final_line(tmp_path):
+    path = str(tmp_path / "j.jsonl")
+    with FlightRecorder(sink=JournalSink(path, fsync="off"), clock_domain="wall") as flight:
+        flight.intent(1.0, "accept", bid_id=1)
+    with open(path, "a") as handle:
+        handle.write('{"seq": 3, "kind": "inte')  # the crashed writer's fragment
+
+    resumed = FlightRecorder(
+        sink=JournalSink(path, fsync="always", append=True), clock_domain="wall"
+    )
+    resumed.seq = 2
+    resumed.intent(2.0, "accept", bid_id=2)
+    resumed.close()
+
+    # without the trim, the new record would weld onto the fragment and
+    # read_recording would raise on an unreadable interior line
+    recording = read_recording(path)
+    assert [e["bid_id"] for e in recording.of_kind("intent")] == [1, 2]
+
+
+def test_append_to_a_missing_file_starts_fresh(tmp_path):
+    path = str(tmp_path / "new.jsonl")
+    sink = JournalSink(path, fsync="always", append=True)
+    assert not sink.appending  # nothing prior: the recorder writes a header
+    with FlightRecorder(sink=sink, clock_domain="wall") as flight:
+        flight.intent(1.0, "accept", bid_id=1)
+    assert len(read_recording(path).events) == 1
