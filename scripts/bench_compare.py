@@ -26,6 +26,18 @@ on-cost to off-cost measured in one process — so they are judged against
 an absolute cap (``OVERHEAD_CAPS``) in the fresh run alone, not against
 the baseline's ratio.
 
+A metric recorded as ``null`` (the harness marks unmeasurable metrics —
+e.g. ``speedup_w4`` on a 1-CPU host — as explicitly skipped, with the
+reason in the document's ``skipped`` block) is skipped on either side.
+
+**Backends**: the meta block records which sim-core backend produced the
+numbers (``backend``: pure/compiled).  When the fresh run used the
+compiled backend it is additionally judged against ``COMPILED_FLOORS`` —
+an absolute events/sec floor, or a multiple of the pure baseline on
+hosts too slow to reach the absolute number.  Relative comparison alone
+cannot gate this: a compiled run that merely matches the pure baseline
+has silently lost its entire reason to exist.
+
 Exit status: 0 when nothing regressed (or ``--report-only``), 1 when at
 least one metric exceeded tolerance, 2 on bad input.
 """
@@ -58,6 +70,16 @@ OVERHEAD_CAPS = {
     "flight_record_overhead": 1.05,
 }
 
+#: Floors applied to the *fresh* run when its meta records the compiled
+#: backend: ``(absolute, multiple)`` — the value must reach the absolute
+#: floor, or ``multiple`` × the pure baseline when the host caps below
+#: it (1-CPU containers measure well under dedicated hardware).
+COMPILED_FLOORS = {
+    # the compiled kernel's headline number: 1M events/s on the loaded
+    # cascade, or >= 3x whatever the same host does in pure python
+    "loaded_cascade_eps": (1_000_000.0, 3.0),
+}
+
 
 def _load(path: str) -> dict:
     try:
@@ -68,6 +90,11 @@ def _load(path: str) -> dict:
     if "results" not in document or "meta" not in document:
         raise SystemExit(f"bench_compare: {path} is not a bench document")
     return document
+
+
+def _skip_line(metric: str, skip_reasons: dict) -> str:
+    reason = skip_reasons.get(metric, "recorded as null")
+    return f"  skip  {metric}: {reason}"
 
 
 def _direction(metric: str) -> int:
@@ -88,8 +115,12 @@ def compare(baseline: dict, fresh: dict, tolerance: float) -> tuple[list[str], i
     shared = sorted(set(baseline["results"]) & set(fresh["results"]))
     if not shared:
         raise SystemExit("bench_compare: the documents share no metrics")
+    skip_reasons = {**baseline.get("skipped", {}), **fresh.get("skipped", {})}
     for metric in sorted(set(fresh["results"]) & set(OVERHEAD_CAPS)):
         cap = OVERHEAD_CAPS[metric]
+        if fresh["results"][metric] is None:
+            lines.append(_skip_line(metric, skip_reasons))
+            continue
         value = float(fresh["results"][metric])
         if value > cap:
             verdict = "REGRESSION"
@@ -99,9 +130,33 @@ def compare(baseline: dict, fresh: dict, tolerance: float) -> tuple[list[str], i
         lines.append(
             f"  {verdict:<10} {metric}: {value:.3f} vs absolute cap {cap:.2f}"
         )
+    if fresh["meta"].get("backend") == "compiled":
+        for metric, (floor, multiple) in sorted(COMPILED_FLOORS.items()):
+            value = fresh["results"].get(metric)
+            if value is None:
+                lines.append(_skip_line(metric, skip_reasons))
+                continue
+            value = float(value)
+            need = floor
+            base_value = baseline["results"].get(metric)
+            if base_value and baseline["meta"].get("backend", "pure") == "pure":
+                need = min(floor, multiple * float(base_value))
+            if value < need:
+                verdict = "REGRESSION"
+                regressions += 1
+            else:
+                verdict = "ok"
+            lines.append(
+                f"  {verdict:<10} {metric}: {value:,.2f} vs compiled floor "
+                f"{need:,.2f} (min of {floor:,.0f} absolute, "
+                f"{multiple:g}x pure baseline)"
+            )
     for metric in shared:
         direction = _direction(metric)
         if direction == 0:
+            continue
+        if baseline["results"][metric] is None or fresh["results"][metric] is None:
+            lines.append(_skip_line(metric, skip_reasons))
             continue
         old = float(baseline["results"][metric])
         new = float(fresh["results"][metric])
@@ -173,7 +228,9 @@ def main(argv=None) -> int:
     lines, regressions = compare(baseline, fresh, args.tolerance)
     print(
         f"bench_compare: {os.path.basename(args.fresh)} vs "
-        f"{os.path.basename(args.baseline)} (tolerance {args.tolerance:.0%})"
+        f"{os.path.basename(args.baseline)} (tolerance {args.tolerance:.0%}, "
+        f"backends: fresh {fresh['meta'].get('backend', 'pure')}, "
+        f"baseline {baseline['meta'].get('backend', 'pure')})"
     )
     for line in lines:
         print(line)

@@ -1,0 +1,152 @@
+"""Simulation-core backend selection (pure Python vs. mypyc-compiled).
+
+The hot core of the library — ``repro.sim.events``, ``repro.sim.queue``,
+``repro.sim.kernel``, ``repro.valuefn.base``, ``repro.valuefn.linear`` —
+can optionally be compiled with `mypyc <https://mypyc.readthedocs.io>`_.
+The build (``REPRO_BUILD_MYPYC=1 pip install .``, or the
+``repro[compiled]`` extra for the toolchain; see ``docs/performance.md``)
+generates rewritten copies of those modules under :mod:`repro._c` and
+compiles them as one self-consistent extension group.
+
+At import time :func:`init` — called first thing by ``repro/__init__`` —
+decides which implementation the canonical module names resolve to, by
+pre-seeding :data:`sys.modules` **before** any ``repro`` submodule is
+imported.  Everything downstream (``from repro.sim.kernel import
+Simulator``, ``repro.sim.queue.EventQueue``, pickles, tests) then sees a
+single consistent implementation; mixing pure and compiled copies is
+impossible by construction, which matters because the kernel compares
+``Event.state`` enum members by identity.
+
+Selection is controlled by the ``REPRO_BACKEND`` environment variable:
+
+``auto`` (default)
+    Use the compiled modules when importable, else pure Python, silently.
+``compiled``
+    Use the compiled modules; if they are absent or fail to import, fall
+    back to pure Python with a one-line notice on stderr.
+``pure``
+    Never touch :mod:`repro._c`.
+
+This module must stay stdlib-only: ``setup.py`` loads it standalone (via
+``importlib.util.spec_from_file_location``) to share the module map with
+the build, before the package is installed.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+import sys
+from typing import Optional
+
+#: canonical module name -> compiled counterpart.  Order matters only
+#: for readability; imports resolve dependencies themselves.
+COMPILED_MODULES: dict[str, str] = {
+    "repro.sim.events": "repro._c.events",
+    "repro.sim.queue": "repro._c.queue",
+    "repro.sim.kernel": "repro._c.kernel",
+    "repro.valuefn.base": "repro._c.valuefn_base",
+    "repro.valuefn.linear": "repro._c.valuefn_linear",
+}
+
+_selected: Optional[str] = None
+
+
+def requested() -> str:
+    """The backend asked for via ``REPRO_BACKEND`` (normalized)."""
+    value = os.environ.get("REPRO_BACKEND", "auto").strip().lower() or "auto"
+    if value not in ("auto", "pure", "compiled"):
+        # stderr on purpose: this runs before repro.obs is importable,
+        # so the observability channels cannot exist yet
+        print(  # repro: noqa OBS001
+            f"repro: unknown REPRO_BACKEND={value!r} (expected pure|compiled); "
+            "using auto",
+            file=sys.stderr,
+        )
+        return "auto"
+    return value
+
+
+def init() -> str:
+    """Resolve the backend and alias the core module names accordingly.
+
+    Must run before any ``repro`` submodule import (``repro/__init__``
+    calls it on its first line).  Idempotent; returns the selected
+    backend name (``"pure"`` or ``"compiled"``).
+    """
+    global _selected
+    if _selected is not None:
+        return _selected
+    choice = requested()
+    if choice == "pure":
+        _selected = "pure"
+        return _selected
+    try:
+        modules = {
+            name: importlib.import_module(compiled)
+            for name, compiled in COMPILED_MODULES.items()
+        }
+    except ModuleNotFoundError as exc:
+        # repro._c simply not built: the normal source-checkout case —
+        # only worth a notice when the user explicitly asked for it.
+        # stderr print, not repro.obs: this runs pre-import of the package
+        if choice == "compiled":
+            print(  # repro: noqa OBS001
+                f"repro: compiled backend unavailable ({exc}); "
+                "falling back to pure python",
+                file=sys.stderr,
+            )
+        _selected = "pure"
+        return _selected
+    except Exception as exc:  # pragma: no cover - broken build
+        # repro._c exists but failed to import (ABI mismatch, partial
+        # build): always say so, silence here would hide a broken wheel.
+        # stderr print, not repro.obs: this runs pre-import of the package
+        print(  # repro: noqa OBS001
+            f"repro: compiled backend failed to import ({exc}); "
+            "falling back to pure python",
+            file=sys.stderr,
+        )
+        _selected = "pure"
+        return _selected
+    for name, module in modules.items():
+        sys.modules[name] = module
+    _selected = "compiled"
+    return _selected
+
+
+def finalize() -> None:
+    """Point parent-package attributes at the selected modules.
+
+    ``init`` pre-seeds :data:`sys.modules`, which covers every ``import``
+    form, but plain attribute traversal (``repro.sim.kernel`` after
+    ``import repro``) needs the parent package attribute to exist too —
+    the import system only sets it when *it* loads the submodule.
+    ``repro/__init__`` calls this after its subpackage imports.
+    """
+    if _selected != "compiled":
+        return
+    for name in COMPILED_MODULES:
+        parent_name, _, child = name.rpartition(".")
+        parent = sys.modules.get(parent_name)
+        if parent is not None:
+            setattr(parent, child, sys.modules[name])
+
+
+def backend_name() -> str:
+    """``"pure"`` or ``"compiled"`` — what :func:`init` selected."""
+    return _selected or "pure"
+
+
+def is_native() -> bool:
+    """True when the selected compiled modules are actual C extensions.
+
+    The build machinery can also generate *interpreted* copies under
+    :mod:`repro._c` (used by the test suite to exercise aliasing without
+    a C toolchain); those select as ``compiled`` but are not native.
+    """
+    if backend_name() != "compiled":
+        return False
+    kernel = sys.modules.get("repro.sim.kernel")
+    origin = getattr(kernel, "__file__", "") or ""
+    return not origin.endswith(".py")

@@ -79,6 +79,22 @@ RULES: dict[str, Rule] = {
             ),
         ),
         Rule(
+            code="DET005",
+            name="raw-heapq-in-sim",
+            summary=(
+                "direct heapq use in repro.sim outside the EventQueue "
+                "module repro.sim.queue"
+            ),
+            rationale=(
+                "The event queue owns all heap state in the kernel: its "
+                "head slot, lazy-cancellation counters, and pop_run batch "
+                "draining keep invariants a raw heappush/heappop bypasses. "
+                "A second heap in repro.sim silently forks the ordering "
+                "contract (stable (time, priority, seq) keys) that "
+                "byte-identical replays depend on."
+            ),
+        ),
+        Rule(
             code="CFG001",
             name="frozen-config-mutation",
             summary=(

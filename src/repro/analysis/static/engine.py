@@ -23,6 +23,7 @@ from repro.analysis.static.rules_determinism import (
     check_det002,
     check_det003,
     check_det004,
+    check_det005,
 )
 from repro.analysis.static.rules_hygiene import (
     check_cfg001,
@@ -43,6 +44,7 @@ CHECKS: dict[str, Callable[[FileContext], list[Diagnostic]]] = {
     "DET002": check_det002,
     "DET003": check_det003,
     "DET004": check_det004,
+    "DET005": check_det005,
     "CFG001": check_cfg001,
     "EXP001": check_exp001,
     "OBS001": check_obs001,

@@ -20,6 +20,10 @@ import re
 #: Module whose whole point is to own the project's RNG entry points.
 SEEDED_STREAM_MODULE = "repro.sim.rng"
 
+#: Module that owns *all* heap state in the simulation kernel (the
+#: EventQueue: head slot, lazy cancellation, pop_run batch draining).
+EVENT_QUEUE_MODULE = "repro.sim.queue"
+
 #: Packages whose code runs *inside* a simulation: behaviour here must be
 #: a pure function of (workload, seed, config).
 SIM_PATH_PREFIXES = (

@@ -1,4 +1,4 @@
-"""Determinism rules DET001–DET004.
+"""Determinism rules DET001–DET005.
 
 Each checker takes a :class:`~repro.analysis.static.astutils.FileContext`
 and returns diagnostics; scoping (which modules a rule applies to) is
@@ -14,6 +14,7 @@ from typing import Optional
 from repro.analysis.static.astutils import FileContext, enclosing_class
 from repro.analysis.static.diagnostics import Diagnostic
 from repro.analysis.static.modulemap import (
+    EVENT_QUEUE_MODULE,
     SEEDED_STREAM_MODULE,
     is_hot_path,
     is_repro_library,
@@ -385,4 +386,57 @@ def check_det004(ctx: FileContext) -> list[Diagnostic]:
                     )
                 )
                 break  # one diagnostic per comparison chain
+    return findings
+
+
+# ----------------------------------------------------------------------
+# DET005 — raw heapq in the sim package
+# ----------------------------------------------------------------------
+
+def check_det005(ctx: FileContext) -> list[Diagnostic]:
+    """Direct ``heapq`` use in ``repro.sim`` outside the EventQueue.
+
+    ``repro.sim.queue`` owns every heap in the kernel; its head slot,
+    lazy-cancellation counters, and ``pop_run`` draining are invariants
+    a raw ``heappush``/``heappop`` elsewhere in the package would
+    silently bypass.  Flags both calls into ``heapq.*`` (however
+    imported) and the imports themselves, so a heap smuggled in via
+    ``from heapq import heappush`` is caught even before first use.
+    """
+    module = ctx.module
+    in_scope = (module == "repro.sim" or module.startswith("repro.sim.")) and (
+        module != EVENT_QUEUE_MODULE
+    )
+    if not in_scope:
+        return []
+    findings = []
+
+    def diag(node: ast.AST, what: str) -> Diagnostic:
+        return Diagnostic(
+            path=ctx.path,
+            line=node.lineno,
+            col=node.col_offset,
+            code="DET005",
+            message=(
+                f"{what} in sim module {module}; heap state belongs to "
+                f"EventQueue ({EVENT_QUEUE_MODULE}) — extend its API instead"
+            ),
+            module=module,
+        )
+
+    for node in ctx.walk():
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "heapq" or alias.name.startswith("heapq."):
+                    findings.append(diag(node, f"import of {alias.name}"))
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "heapq":
+                names = ", ".join(alias.name for alias in node.names)
+                findings.append(diag(node, f"import from heapq ({names})"))
+        elif isinstance(node, ast.Call):
+            qualified = ctx.imports.resolve(node.func)
+            if qualified is not None and (
+                qualified == "heapq" or qualified.startswith("heapq.")
+            ):
+                findings.append(diag(node, f"direct call {qualified}()"))
     return findings

@@ -29,7 +29,7 @@ from repro.scheduling.base import (
     effective_decay,
 )
 from repro.scheduling.baselines import FCFS, SRPT, SWPT, PriorityFCFS
-from repro.scheduling.candidate import project_start_times
+from repro.scheduling.candidate import project_next_start, project_start_times
 from repro.scheduling.cost import opportunity_costs
 from repro.scheduling.firstprice import FirstPrice
 from repro.scheduling.firstreward import FirstReward
@@ -57,5 +57,6 @@ __all__ = [
     "effective_decay",
     "make_heuristic",
     "opportunity_costs",
+    "project_next_start",
     "project_start_times",
 ]

@@ -52,3 +52,47 @@ def project_start_times(
         starts[pos] = t
         heapq.heappush(heap, t + float(rpt))
     return starts
+
+
+def project_next_start(
+    remaining_in_order: Sequence[float],
+    free_times: Sequence[float],
+    position: int,
+) -> float:
+    """Projected start time of the entry at *position* alone.
+
+    Bit-identical to ``project_start_times(...)[position]`` — the same
+    list-scheduling heap walk with the same float accumulation order —
+    but the walk stops once the requested slot is reached, and the
+    single-processor case collapses to one sequential prefix sum
+    (``np.cumsum``; NumPy's ``add.accumulate`` is a left-to-right
+    accumulation, unlike ``np.sum``'s pairwise reduction, so the float
+    association matches the heap walk exactly).  Admission control only
+    consumes the candidate task's own start, so this turns an O(n log P)
+    projection per evaluation into O(position).
+    """
+    if len(free_times) == 0:
+        raise SchedulingError("project_start_times requires at least one processor")
+    remaining = np.asarray(remaining_in_order, dtype=np.float64)
+    n = len(remaining)
+    if not 0 <= position < n:
+        raise SchedulingError(f"position {position} out of range for {n} tasks")
+    if np.any(remaining < 0):
+        pos = int(np.argmax(remaining < 0))
+        rpt = remaining_in_order[pos]
+        raise SchedulingError(f"negative RPT {rpt!r} at position {pos}")
+    if len(free_times) == 1:
+        base = float(free_times[0])
+        if position == 0:
+            return base
+        acc = np.empty(position + 1)
+        acc[0] = base
+        acc[1:] = remaining[:position]
+        return float(acc.cumsum()[-1])
+    heap = [float(t) for t in free_times]
+    heapq.heapify(heap)
+    heappop, heappush = heapq.heappop, heapq.heappush
+    for pos in range(position):
+        t = heappop(heap)
+        heappush(heap, t + float(remaining[pos]))
+    return float(heap[0])

@@ -24,7 +24,7 @@ import numpy as np
 
 from repro.errors import AdmissionError
 from repro.scheduling.base import effective_decay
-from repro.scheduling.candidate import project_start_times
+from repro.scheduling.candidate import project_next_start
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.site.service import TaskServiceSite
@@ -115,10 +115,12 @@ class SlackAdmission:
 
         scores = site.heuristic.scores(cols, now)
         order = np.argsort(-scores, kind="stable")
-        starts = project_start_times(cols.remaining[order], site.processors.free_times(now))
-
         position = int(np.nonzero(order == candidate_index)[0][0])
-        expected_start = float(starts[position])
+        # only the candidate's own start is consumed, so project just
+        # that slot (early-stopped; bit-identical to the full projection)
+        expected_start = project_next_start(
+            cols.remaining[order], site.processors.free_times(now), position
+        )
         expected_completion = expected_start + task.estimated_remaining
         expected_delay = max(0.0, expected_completion - task.arrival - task.estimate)
         expected_yield = task.vf.yield_at(expected_delay)

@@ -124,6 +124,32 @@ class LinearDecayValueFunction(ValueFunction):
         return 0.0 if self.is_expired(delay) and self.decay > 0 else self.decay
 
     # ------------------------------------------------------------------
+    # Vectorized evaluation (bit-identical to the scalar methods)
+    # ------------------------------------------------------------------
+    def yields_at(self, delays: NDArray[np.float64]) -> NDArray[np.float64]:
+        arr = np.asarray(delays, dtype=np.float64)
+        if arr.size and float(arr.min()) < 0:
+            raise ValueFunctionError(f"delay must be >= 0, got {float(arr.min())!r}")
+        # same expression as yield_at: value - delay*decay, floored
+        raw = self.value - arr * self.decay
+        if self.penalty_bound is None:
+            return raw
+        out: NDArray[np.float64] = np.maximum(raw, -self.penalty_bound)
+        return out
+
+    def decays_at(self, delays: NDArray[np.float64]) -> NDArray[np.float64]:
+        arr = np.asarray(delays, dtype=np.float64)
+        if arr.size and float(arr.min()) < 0:
+            raise ValueFunctionError(f"delay must be >= 0, got {float(arr.min())!r}")
+        if self.penalty_bound is None or self.decay == 0.0:
+            # never expires (unbounded) or never decays: constant rate,
+            # matching decay_at's `is_expired and decay > 0` guard
+            return np.full(arr.shape, self.decay)
+        expiration = (self.value + self.penalty_bound) / self.decay
+        out: NDArray[np.float64] = np.where(arr >= expiration, 0.0, self.decay)
+        return out
+
+    # ------------------------------------------------------------------
     def as_tuple(self) -> tuple[float, float, Optional[float]]:
         """The (value, decay, bound) triple used in bids (§6)."""
         return (self.value, self.decay, self.penalty_bound)

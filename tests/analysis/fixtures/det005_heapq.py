@@ -1,0 +1,25 @@
+# repro-lint: module=repro.sim.fixture_timers
+"""DET005 fixture: raw heapq use in a sim module outside EventQueue."""
+
+from __future__ import annotations
+
+import heapq  # expect: DET005
+from heapq import heappop, heappush  # expect: DET005
+
+
+def side_heap(deadlines: list[float]) -> list[float]:
+    heap = list(deadlines)
+    heapq.heapify(heap)  # expect: DET005
+    drained = []
+    while heap:
+        drained.append(heappop(heap))  # expect: DET005
+    return drained
+
+
+def requeue(heap: list[float], t: float) -> None:
+    heappush(heap, t)  # expect: DET005
+
+
+def fine_without_heapq(deadlines: list[float]) -> list[float]:
+    # sorting is not heap state: ordering here is explicit and local
+    return sorted(deadlines)

@@ -1,0 +1,26 @@
+# repro-lint: module=repro.sim.queue
+"""DET005 negative fixture: the EventQueue module owns the heap.
+
+Impersonates ``repro.sim.queue`` — the one sim module allowed to touch
+``heapq`` directly — so the rule's allowlist is exercised.  Scheduling
+code outside ``repro.sim`` (e.g. ``repro.scheduling.candidate``'s
+completion-time projector) is out of scope by construction and needs no
+fixture.
+"""
+
+from __future__ import annotations
+
+import heapq
+from heapq import heappop, heappush
+
+
+def drain(heap: list[float]) -> list[float]:
+    heapq.heapify(heap)
+    out = []
+    while heap:
+        out.append(heappop(heap))
+    return out
+
+
+def park(heap: list[float], t: float) -> None:
+    heappush(heap, t)

@@ -1,0 +1,237 @@
+"""Backend selection (``repro._backend``) and cross-path golden identity.
+
+Backend choice happens at ``import repro`` time — ``_backend.init()``
+pre-seeds :data:`sys.modules` before any submodule import — so most of
+these tests drive fresh interpreters via subprocess with ``REPRO_BACKEND``
+/ ``REPRO_BATCH_DISPATCH`` in the environment and inspect what the
+package resolved to.
+
+The compiled group is exercised in *interpreted aliased* form: the
+fixture generates ``src/repro/_c/`` with ``scripts/gen_compiled_sources``
+(no C toolchain needed), which selects as ``backend == "compiled"`` with
+``is_native() == False``.  That covers the aliasing machinery — module
+pre-seeding, parent-attribute finalization, enum-identity consistency —
+which is exactly the part a mypyc build reuses unchanged; CI compiles
+the real extension and re-runs the same identity check natively.
+
+The golden contract: one deterministic market run must produce an
+identical fingerprint under pure, aliased-compiled, and stepwise
+(``REPRO_BATCH_DISPATCH=0``) execution.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO_ROOT, "src")
+C_DIR = os.path.join(SRC, "repro", "_c")
+GEN = os.path.join(REPO_ROOT, "scripts", "gen_compiled_sources.py")
+
+#: one small deterministic market run + backend introspection, printed
+#: as JSON on the last stdout line.  Everything entering the fingerprint
+#: is exact (repr for floats), so any behavioral divergence — ordering,
+#: admission, pricing — changes the hash.
+PROBE = """
+import hashlib, json, sys
+import repro
+from repro import _backend
+from repro.market import MarketSite, run_market
+from repro.scheduling import FirstReward
+from repro.sim import Simulator
+from repro.sim import kernel
+from repro.site import SlackAdmission
+from repro.workload import economy_spec, generate_trace
+
+trace = generate_trace(economy_spec(n_jobs=40, load_factor=1.5, processors=8), seed=11)
+sim = Simulator()
+sites = [
+    MarketSite(
+        sim,
+        site_id=f"site-{i}",
+        processors=8,
+        heuristic=FirstReward(0.3, 0.01),
+        admission=SlackAdmission(threshold=60.0),
+    )
+    for i in range(2)
+]
+result = run_market(trace, sites)
+fingerprint = hashlib.sha256(
+    json.dumps(
+        {
+            "accepted": result.accepted,
+            "revenue": repr(result.total_revenue),
+            "contracts": sorted(result.contracts_by_site.items()),
+            "revenue_by_site": sorted(
+                (k, repr(v)) for k, v in result.revenue_by_site.items()
+            ),
+            "now": repr(sim.now),
+            "events": sim.events_fired,
+        },
+        sort_keys=True,
+    ).encode()
+).hexdigest()
+print(
+    json.dumps(
+        {
+            "backend": _backend.backend_name(),
+            "native": _backend.is_native(),
+            "kernel_file": kernel.__file__,
+            "attr_kernel_file": repro.sim.kernel.__file__,
+            "batched": kernel.DEFAULT_BATCHED,
+            "fingerprint": fingerprint,
+        }
+    )
+)
+"""
+
+
+def run_probe(**env_overrides):
+    """Import repro in a fresh interpreter; return (probe dict, stderr)."""
+    env = dict(os.environ)
+    env.pop("REPRO_BACKEND", None)
+    env.pop("REPRO_BATCH_DISPATCH", None)
+    env["PYTHONPATH"] = SRC
+    env.update(env_overrides)
+    proc = subprocess.run(
+        [sys.executable, "-c", PROBE],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+        check=True,
+    )
+    return json.loads(proc.stdout.strip().splitlines()[-1]), proc.stderr
+
+
+_probe_cache: dict[tuple, tuple] = {}
+
+
+def cached_probe(**env_overrides):
+    """run_probe, memoized per env — the market run dominates test time."""
+    key = tuple(sorted(env_overrides.items()))
+    if key not in _probe_cache:
+        _probe_cache[key] = run_probe(**env_overrides)
+    return _probe_cache[key]
+
+
+@pytest.fixture(scope="module")
+def compiled_sources():
+    """Generate the interpreted ``repro._c`` group; clean up afterwards.
+
+    If a build already left ``_c`` in place (e.g. a local mypyc build),
+    reuse it and leave it alone.
+    """
+    def invalidate_backend_sensitive_cache():
+        # probes that *could* pick up _c (everything but explicit pure)
+        # are only valid on one side of the generate/clean boundary
+        for key in [k for k in _probe_cache if dict(k).get("REPRO_BACKEND") != "pure"]:
+            _probe_cache.pop(key, None)
+
+    pre_existing = os.path.isdir(C_DIR)
+    if not pre_existing:
+        subprocess.run(
+            [sys.executable, GEN], check=True, capture_output=True, cwd=REPO_ROOT
+        )
+        invalidate_backend_sensitive_cache()
+    try:
+        yield C_DIR
+    finally:
+        if not pre_existing:
+            subprocess.run(
+                [sys.executable, GEN, "--clean"],
+                check=True,
+                capture_output=True,
+                cwd=REPO_ROOT,
+            )
+            invalidate_backend_sensitive_cache()
+
+
+def _no_prebuilt_c():
+    return not os.path.isdir(C_DIR)
+
+
+class TestSelection:
+    @pytest.mark.skipif(not _no_prebuilt_c(), reason="local _c build present")
+    def test_default_is_pure_without_a_build(self):
+        probe, stderr = cached_probe()
+        assert probe["backend"] == "pure"
+        assert probe["native"] is False
+        assert probe["kernel_file"].endswith(os.path.join("sim", "kernel.py"))
+        assert "falling back" not in stderr
+
+    @pytest.mark.skipif(not _no_prebuilt_c(), reason="local _c build present")
+    def test_compiled_request_falls_back_with_notice(self):
+        probe, stderr = run_probe(REPRO_BACKEND="compiled")
+        assert probe["backend"] == "pure"
+        assert "compiled backend unavailable" in stderr
+        assert "falling back to pure python" in stderr
+
+    @pytest.mark.skipif(not _no_prebuilt_c(), reason="local _c build present")
+    def test_auto_fallback_is_silent(self):
+        probe, stderr = cached_probe(REPRO_BACKEND="auto")
+        assert probe["backend"] == "pure"
+        assert stderr == ""
+
+    def test_unknown_value_warns_and_means_auto(self):
+        probe, stderr = run_probe(REPRO_BACKEND="turbo")
+        assert "unknown REPRO_BACKEND" in stderr
+        assert probe["backend"] in ("pure", "compiled")
+
+    def test_init_is_idempotent_in_process(self):
+        from repro import _backend
+
+        first = _backend.init()
+        assert _backend.init() == first == _backend.backend_name()
+
+
+class TestAliasedCompiled:
+    def test_auto_selects_generated_group(self, compiled_sources):
+        probe, _ = cached_probe(REPRO_BACKEND="auto")
+        assert probe["backend"] == "compiled"
+        # interpreted copies: compiled-selected but not native extensions
+        assert probe["native"] is False
+        assert os.sep + "_c" + os.sep in probe["kernel_file"]
+
+    def test_finalize_rebinds_parent_attributes(self, compiled_sources):
+        # repro.sim.kernel reached by *attribute traversal* must be the
+        # same aliased module as the sys.modules entry
+        probe, _ = cached_probe(REPRO_BACKEND="auto")
+        assert probe["attr_kernel_file"] == probe["kernel_file"]
+
+    def test_pure_override_ignores_generated_group(self, compiled_sources):
+        probe, stderr = run_probe(REPRO_BACKEND="pure")
+        assert probe["backend"] == "pure"
+        assert os.sep + "_c" + os.sep not in probe["kernel_file"]
+        assert stderr == ""
+
+
+class TestGoldenIdentity:
+    """One market run, one fingerprint, every execution path."""
+
+    def test_stepwise_dispatch_matches_batched(self):
+        batched, _ = cached_probe()
+        stepwise, _ = cached_probe(REPRO_BATCH_DISPATCH="0")
+        assert batched["batched"] is True
+        assert stepwise["batched"] is False
+        assert stepwise["fingerprint"] == batched["fingerprint"]
+
+    def test_aliased_compiled_matches_pure(self, compiled_sources):
+        compiled, _ = cached_probe(REPRO_BACKEND="auto")
+        pure, _ = cached_probe(REPRO_BACKEND="pure")
+        assert compiled["backend"] == "compiled"
+        assert pure["backend"] == "pure"
+        assert compiled["fingerprint"] == pure["fingerprint"]
+
+    def test_aliased_compiled_stepwise_matches_too(self, compiled_sources):
+        # the full cross product's last corner: compiled x stepwise
+        corner, _ = cached_probe(REPRO_BACKEND="auto", REPRO_BATCH_DISPATCH="0")
+        pure, _ = cached_probe(REPRO_BACKEND="pure")
+        assert corner["backend"] == "compiled"
+        assert corner["batched"] is False
+        assert corner["fingerprint"] == pure["fingerprint"]

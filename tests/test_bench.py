@@ -88,6 +88,55 @@ class TestBenchCompare:
         fresh = write(tmp_path, "fresh.json", doc({"events_fired": 1.0}))
         assert bench_compare.main([fresh, base]) == 0
 
+    def test_null_metric_skips_with_reason(self, tmp_path, capsys):
+        # the harness records unmeasurable speedups as null + reason; the
+        # comparator must skip them (either side), never crash on float(None)
+        base = write(tmp_path, "base.json", doc({"speedup_w4": 3.0}, cpu_count=8))
+        nulled = doc({"speedup_w4": None}, cpu_count=8)
+        nulled["skipped"] = {"speedup_w4": "cpu_count 1 < workers 4"}
+        fresh = write(tmp_path, "fresh.json", nulled)
+        assert bench_compare.main([fresh, base]) == 0
+        out = capsys.readouterr().out
+        assert "skip" in out and "cpu_count 1 < workers 4" in out
+
+    def test_null_baseline_metric_skips(self, tmp_path):
+        base = write(tmp_path, "base.json", doc({"speedup_w4": None}, cpu_count=8))
+        fresh = write(tmp_path, "fresh.json", doc({"speedup_w4": 0.5}, cpu_count=8))
+        assert bench_compare.main([fresh, base]) == 0
+
+
+class TestCompiledFloors:
+    def make(self, tmp_path, base_eps, fresh_eps, fresh_backend="compiled"):
+        base = doc({"loaded_cascade_eps": base_eps})
+        base["meta"]["backend"] = "pure"
+        fresh = doc({"loaded_cascade_eps": fresh_eps})
+        fresh["meta"]["backend"] = fresh_backend
+        return (
+            write(tmp_path, "fresh.json", fresh),
+            write(tmp_path, "base.json", base),
+        )
+
+    def test_compiled_run_above_absolute_floor_passes(self, tmp_path):
+        fresh, base = self.make(tmp_path, 300_000.0, 1_200_000.0)
+        assert bench_compare.main([fresh, base]) == 0
+
+    def test_compiled_run_meeting_multiple_of_baseline_passes(self, tmp_path, capsys):
+        # 3x the pure baseline clears the floor on hosts capped below 1M
+        fresh, base = self.make(tmp_path, 200_000.0, 650_000.0)
+        assert bench_compare.main([fresh, base]) == 0
+        assert "compiled floor" in capsys.readouterr().out
+
+    def test_compiled_run_below_floor_regresses(self, tmp_path, capsys):
+        # 2x the pure baseline is an improvement, but not a compiled one:
+        # merely beating pure means the compiled backend lost its point
+        fresh, base = self.make(tmp_path, 300_000.0, 600_000.0)
+        assert bench_compare.main([fresh, base]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_pure_run_is_not_held_to_compiled_floor(self, tmp_path):
+        fresh, base = self.make(tmp_path, 300_000.0, 400_000.0, fresh_backend="pure")
+        assert bench_compare.main([fresh, base]) == 0
+
 
 class TestBenchDocument:
     def test_metric_names_have_directions(self):
@@ -96,6 +145,8 @@ class TestBenchDocument:
         for metric in (
             "event_throughput_eps",
             "loaded_cascade_eps",
+            "batch_dispatch_eps",
+            "valuefn_vector_us",
             "select_cycle_us_n200",
             "pool_churn_us_n1000",
             "fig6_cell_s",
@@ -108,9 +159,20 @@ class TestBenchDocument:
         document = bench_compare._load(bench_compare.DEFAULT_BASELINE)
         assert document["meta"]["schema"] == bench.BENCH_SCHEMA
         assert document["meta"]["cpu_count"] >= 1
-        assert all(
-            isinstance(v, (int, float)) for v in document["results"].values()
-        )
+        # numbers are numbers; a null is legal only when the document
+        # carries an explicit skip reason for that metric
+        skipped = document.get("skipped", {})
+        for metric, value in document["results"].items():
+            if value is None:
+                assert metric in skipped, f"{metric} is null with no reason"
+            else:
+                assert isinstance(value, (int, float)), metric
+
+    def test_committed_baseline_records_backend(self):
+        document = bench_compare._load(bench_compare.DEFAULT_BASELINE)
+        assert document["meta"]["backend"] in ("pure", "compiled")
+        assert isinstance(document["meta"]["backend_native"], bool)
+        assert isinstance(document["meta"]["batch_dispatch"], bool)
 
     def test_write_bench_round_trips(self, tmp_path):
         document = doc({"event_throughput_eps": 1.0})

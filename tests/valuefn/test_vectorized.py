@@ -1,0 +1,165 @@
+"""Vectorized value-function evaluation: float64 bit-equality vs scalar.
+
+``yields_at`` / ``decays_at`` (``repro.valuefn.base``) promise results
+**bit-identical** to mapping the scalar ``yield_at`` / ``decay_at`` over
+the same delays — not merely approximately equal.  The vectorized
+scheduler scoring and admission projection are byte-identity-preserving
+only because of this contract, so every comparison here is exact
+(``==`` on float64 values, no tolerances), deliberately including the
+awkward regions: unbounded (infinite) penalties, the decay floor where
+a bounded function stops losing value, and piecewise breakpoints.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.valuefn import LinearDecayValueFunction, PiecewiseLinearValueFunction
+from repro.valuefn.base import ValueFunction
+
+delays_lists = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False), min_size=1, max_size=64
+)
+values = st.floats(min_value=0.1, max_value=1e4, allow_nan=False)
+decays = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+bounds = st.one_of(st.none(), st.floats(min_value=0.0, max_value=1e4, allow_nan=False))
+
+
+def assert_bit_equal(vf: ValueFunction, delays: np.ndarray) -> None:
+    """Vectorized vs scalar, element by element, exact float64 equality."""
+    vec_yields = vf.yields_at(delays)
+    vec_decays = vf.decays_at(delays)
+    assert vec_yields.dtype == np.float64
+    assert vec_decays.dtype == np.float64
+    assert vec_yields.shape == delays.shape
+    assert vec_decays.shape == delays.shape
+    for i, d in enumerate(delays.ravel()):
+        scalar_yield = vf.yield_at(float(d))
+        scalar_decay = vf.decay_at(float(d))
+        # np.float64 == float compares exact bit-for-bit values
+        assert vec_yields.ravel()[i] == scalar_yield, (vf, d)
+        assert vec_decays.ravel()[i] == scalar_decay, (vf, d)
+
+
+class TestLinearVectorized:
+    @given(value=values, decay=decays, bound=bounds, ds=delays_lists)
+    @settings(max_examples=200)
+    def test_bit_equality_on_random_functions(self, value, decay, bound, ds):
+        vf = LinearDecayValueFunction(value=value, decay=decay, penalty_bound=bound)
+        assert_bit_equal(vf, np.array(ds, dtype=np.float64))
+
+    def test_unbounded_penalty_goes_arbitrarily_negative(self):
+        # penalty_bound=None: raw linear decay with no floor, ever
+        vf = LinearDecayValueFunction(value=100.0, decay=2.0, penalty_bound=None)
+        ds = np.array([0.0, 50.0, 1e6, 1e12])
+        assert_bit_equal(vf, ds)
+        assert vf.yields_at(ds)[-1] < -1e11
+
+    def test_bounded_penalty_floors_exactly_at_negative_bound(self):
+        vf = LinearDecayValueFunction(value=100.0, decay=2.0, penalty_bound=50.0)
+        # expiration delay: (value + bound) / decay = 75
+        ds = np.array([74.999, 75.0, 75.001, 1e9])
+        assert_bit_equal(vf, ds)
+        yields = vf.yields_at(ds)
+        assert yields[1] == -50.0
+        assert yields[3] == -50.0
+        decays_ = vf.decays_at(ds)
+        assert decays_[0] == 2.0  # still decaying just before the floor
+        assert decays_[1] == 0.0  # flat from the floor on
+        assert decays_[3] == 0.0
+
+    def test_zero_decay_is_constant(self):
+        vf = LinearDecayValueFunction(value=10.0, decay=0.0, penalty_bound=5.0)
+        ds = np.array([0.0, 1.0, 1e9])
+        assert_bit_equal(vf, ds)
+        assert np.all(vf.yields_at(ds) == 10.0)
+        assert np.all(vf.decays_at(ds) == 0.0)
+
+    def test_negative_delay_raises_like_scalar(self):
+        vf = LinearDecayValueFunction(value=10.0, decay=1.0)
+        with pytest.raises(Exception):
+            vf.yield_at(-1.0)
+        with pytest.raises(Exception):
+            vf.yields_at(np.array([0.0, -1.0]))
+
+    def test_matrix_shaped_input_preserves_shape(self):
+        vf = LinearDecayValueFunction(value=100.0, decay=1.0, penalty_bound=20.0)
+        ds = np.array([[0.0, 10.0], [120.0, 1e6]])
+        assert_bit_equal(vf, ds)
+
+
+class TestPiecewiseVectorized:
+    def grace_vf(self):
+        return PiecewiseLinearValueFunction([(0, 100), (10, 100), (30, 0), (80, -50)])
+
+    @given(ds=delays_lists)
+    @settings(max_examples=100)
+    def test_bit_equality_on_random_delays(self, ds):
+        assert_bit_equal(self.grace_vf(), np.array(ds, dtype=np.float64))
+
+    def test_breakpoints_and_their_neighbourhoods(self):
+        # exactly at, just before, and just after every breakpoint: the
+        # vectorized searchsorted segment choice must match the scalar
+        # bisection, or interpolation picks a different (y0, slope) pair
+        vf = self.grace_vf()
+        points = []
+        for t, _ in vf.breakpoints:
+            points.extend([t, np.nextafter(t, -np.inf), np.nextafter(t, np.inf)])
+        ds = np.array([p for p in points if p >= 0.0])
+        assert_bit_equal(vf, ds)
+
+    def test_beyond_last_breakpoint_is_flat(self):
+        vf = self.grace_vf()
+        ds = np.array([80.0, 81.0, 1e9])
+        assert_bit_equal(vf, ds)
+        assert np.all(vf.yields_at(ds) == -50.0)
+        assert np.all(vf.decays_at(ds) == 0.0)
+
+    def test_single_point_function(self):
+        vf = PiecewiseLinearValueFunction([(0, 42)])
+        ds = np.array([0.0, 1.0, 1e9])
+        assert_bit_equal(vf, ds)
+        assert np.all(vf.yields_at(ds) == 42.0)
+
+    @given(value=values, decay=decays, bound=bounds, ds=delays_lists)
+    @settings(max_examples=100)
+    def test_from_linear_matches_linear_bitwise(self, value, decay, bound, ds):
+        # the piecewise encoding of a linear function must agree with the
+        # linear original — scalar *and* vectorized — wherever both are
+        # defined (beyond the last breakpoint the piecewise form is flat
+        # while an unbounded linear function keeps falling)
+        linear = LinearDecayValueFunction(value=value, decay=decay, penalty_bound=bound)
+        piecewise = PiecewiseLinearValueFunction.from_linear(linear)
+        horizon = piecewise.expiration_delay
+        arr = np.array([d for d in ds if d <= horizon], dtype=np.float64)
+        if arr.size == 0:
+            return
+        assert_bit_equal(piecewise, arr)
+
+
+class TestBaseFallback:
+    def test_loop_fallback_serves_subclasses_without_overrides(self):
+        # a vf that only implements the scalar hooks still gets working
+        # (loop-based) vectorized evaluation from the base class
+        class StepVF(ValueFunction):
+            @property
+            def max_value(self) -> float:
+                return 1.0
+
+            @property
+            def expiration_delay(self) -> float:
+                return 5.0
+
+            def yield_at(self, delay: float) -> float:
+                return 1.0 if delay < 5.0 else 0.0
+
+            def decay_at(self, delay: float) -> float:
+                return 0.0
+
+        vf = StepVF()
+        ds = np.array([0.0, 4.999, 5.0, 10.0])
+        assert list(vf.yields_at(ds)) == [1.0, 1.0, 0.0, 0.0]
+        assert list(vf.decays_at(ds)) == [0.0, 0.0, 0.0, 0.0]
