@@ -1,0 +1,161 @@
+#!/usr/bin/env python
+"""Gate ``repro lint`` against the committed baseline (``scripts/lint_baseline.txt``).
+
+The shrink-only ratchet that lets new interprocedural rules land strict
+where the disciplines are load-bearing while any long tail burns down —
+mirroring ``scripts/check_mypy.py``:
+
+* **Strict zone** (``repro.live``, ``repro.sim`` — i.e. paths under
+  ``src/repro/live`` and ``src/repro/sim``): zero tolerance — any
+  finding fails, never baselined.
+* **Everywhere else**: findings are compared against the baseline.  A
+  new finding (not in the baseline) fails; a vanished baseline entry is
+  reported so the baseline can be shrunk.  Debt only ratchets down.
+
+Baseline entries are line-number-free (``path: CODE message``) so
+unrelated edits shifting lines don't churn the file.
+
+Usage::
+
+    python scripts/check_lint.py              # gate (exit 0/1)
+    python scripts/check_lint.py --update     # rewrite the baseline
+    python scripts/check_lint.py --report-only
+
+Exit status: 0 ok, 1 new findings (or strict-zone findings), 2 usage
+error.  The analyzer is pure stdlib, so unlike the mypy gate there is no
+degrade-to-no-op lane: it always runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from collections import Counter
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BASELINE = os.path.join(REPO_ROOT, "scripts", "lint_baseline.txt")
+
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.analysis.static.diagnostics import Diagnostic  # noqa: E402
+from repro.analysis.static.engine import analyze_paths  # noqa: E402
+
+#: Path prefixes of the strict, zero-tolerance zone: the event-loop /
+#: WAL disciplines (repro.live) and the determinism kernel (repro.sim).
+STRICT_PREFIXES = (
+    os.path.join("src", "repro", "live"),
+    os.path.join("src", "repro", "sim"),
+)
+
+
+def run_lint() -> list[Diagnostic]:
+    """All findings over ``src/`` with every rule and strict noqa on."""
+    cwd = os.getcwd()
+    os.chdir(REPO_ROOT)
+    try:
+        run = analyze_paths(["src"], strict_noqa=True)
+    finally:
+        os.chdir(cwd)
+    return run.diagnostics
+
+
+def normalize(diag: Diagnostic) -> str:
+    """Line-number-free baseline key: ``path: CODE message``."""
+    return f"{os.path.normpath(diag.path)}: {diag.code} {diag.message}"
+
+
+def is_strict_path(diag: Diagnostic) -> bool:
+    return os.path.normpath(diag.path).startswith(STRICT_PREFIXES)
+
+
+def load_baseline() -> Counter:
+    if not os.path.exists(BASELINE):
+        return Counter()
+    entries: Counter = Counter()
+    with open(BASELINE, encoding="utf-8") as handle:
+        for raw in handle:
+            stripped = raw.strip()
+            if stripped and not stripped.startswith("#"):
+                entries[stripped] += 1
+    return entries
+
+
+def write_baseline(entries: list[str]) -> None:
+    with open(BASELINE, "w", encoding="utf-8") as handle:
+        handle.write(
+            "# repro lint baseline: known findings outside the strict zone\n"
+            "# (src/repro/live, src/repro/sim are zero-tolerance and never\n"
+            "# baselined).  One normalized `path: CODE message` entry per\n"
+            "# line; regenerate with\n"
+            "#   python scripts/check_lint.py --update\n"
+            "# Policy: this file only ever shrinks (docs/static_analysis.md).\n"
+        )
+        for entry in sorted(entries):
+            handle.write(entry + "\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--update", action="store_true", help="rewrite the baseline from this run"
+    )
+    parser.add_argument(
+        "--report-only", action="store_true", help="print findings but always exit 0"
+    )
+    args = parser.parse_args(argv)
+
+    findings = run_lint()
+    strict = [d for d in findings if is_strict_path(d)]
+    other = [d for d in findings if not is_strict_path(d)]
+
+    failures = 0
+    if strict:
+        print(f"strict-zone findings ({len(strict)}) — never baselined:")
+        for diag in strict:
+            print(f"  {diag.format()}")
+        failures += len(strict)
+
+    if args.update:
+        write_baseline([normalize(d) for d in other])
+        print(
+            f"baseline rewritten: {len(other)} entr(y/ies) in "
+            f"{os.path.relpath(BASELINE, REPO_ROOT)}"
+        )
+        return 1 if strict else 0
+
+    baseline = load_baseline()
+    seen: Counter = Counter()
+    new_findings = []
+    for diag in other:
+        key = normalize(diag)
+        seen[key] += 1
+        if seen[key] > baseline.get(key, 0):
+            new_findings.append(diag)
+    if new_findings:
+        print(f"new lint findings outside the strict zone ({len(new_findings)}):")
+        for diag in new_findings:
+            print(f"  {diag.format()}")
+        print(
+            "fix them, or (for deliberate debt) run: "
+            "python scripts/check_lint.py --update"
+        )
+        failures += len(new_findings)
+
+    stale = baseline - seen
+    if stale:
+        print(
+            f"note: {sum(stale.values())} baseline entr(y/ies) no longer fire; "
+            "shrink the baseline with --update"
+        )
+
+    if failures == 0:
+        print(
+            f"check_lint: ok — 0 strict-zone findings, "
+            f"{sum(seen.values())} baselined elsewhere ({len(findings)} total)"
+        )
+    return 0 if (failures == 0 or args.report_only) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

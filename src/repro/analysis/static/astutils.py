@@ -10,7 +10,10 @@ from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field
-from typing import Iterator, Optional
+from typing import TYPE_CHECKING, Iterator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.static.engine import ProjectContext
 
 
 def build_parents(tree: ast.AST) -> dict[ast.AST, ast.AST]:
@@ -81,6 +84,10 @@ class ImportMap:
                     imports._aliases[local] = f"{base}.{alias.name}" if base else alias.name
         return imports
 
+    def alias_for(self, name: str) -> Optional[str]:
+        """Dotted target a bare local *name* was imported as, if any."""
+        return self._aliases.get(name)
+
     def resolve(self, node: ast.AST) -> Optional[str]:
         """Dotted path for a Name/Attribute chain rooted at an import.
 
@@ -113,6 +120,9 @@ class FileContext:
     source: str
     tree: ast.Module
     frozen_classes: frozenset[str]  # project-wide, from the engine's pre-pass
+    #: Call graph + effect index over the whole analyzed file set; None
+    #: unless the selection includes an interprocedural rule.
+    project: Optional["ProjectContext"] = None
     _parents: Optional[dict[ast.AST, ast.AST]] = field(default=None, repr=False)
     _imports: Optional[ImportMap] = field(default=None, repr=False)
 

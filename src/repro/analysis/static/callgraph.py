@@ -1,0 +1,567 @@
+"""Project-wide import graph and best-effort call graph.
+
+This is the substrate of the interprocedural rules (DET006, ASY001,
+WAL001): one registration pass indexes every function and class in the
+analyzed tree under its *module identity* (pragma-aware, via
+:mod:`repro.analysis.static.modulemap` semantics — the engine passes the
+resolved module per file), a fixpoint over module-level bindings chases
+re-export chains (``from repro.obs import FlightRecorder`` lands on
+``repro.obs.flight.FlightRecorder``), and a per-function resolution pass
+turns call sites into edges.
+
+Resolution is deliberately an *under*-approximation: a call the graph
+cannot attribute to a known function contributes no edge (its dotted
+``qualified`` name is still recorded so effect detectors can match
+stdlib calls).  That keeps the rules built on top quiet — a missed edge
+can hide a finding, never invent one.  The resolvable cases:
+
+* names imported (aliased or not) from analyzed modules, through any
+  depth of package re-exports;
+* module-level functions and classes called by bare name;
+* ``self.method()`` — the enclosing class, then its bases (transitively,
+  within the analyzed tree);
+* ``self.attr.method()`` where the attribute's class is inferred from a
+  constructor assignment, an ``AnnAssign``, or an annotated ``__init__``
+  parameter (``Optional[X]`` / ``X | None`` unwrap to ``X``);
+* local variables bound to a constructor call or annotated parameter,
+  including loop variables over a ``list[X]``-typed attribute;
+* nested ``def``s: a synthetic edge from the enclosing function, so
+  their effects surface at the definition site.
+
+Two local idioms get pseudo-qualified names so the effect layer can
+treat them as stdlib detectors: ``proc.wait()`` on a variable bound to
+``subprocess.Popen(...)`` becomes ``subprocess.Popen.wait``, and
+``writer.write()`` on an ``asyncio.StreamWriter``-annotated name becomes
+``asyncio.StreamWriter.write``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.analysis.static.astutils import ImportMap
+
+#: Annotations treated as "element type T" containers for loop variables.
+_SEQUENCE_NAMES = frozenset({"list", "List", "tuple", "Tuple", "Sequence", "Iterable"})
+#: Annotation wrappers unwrapped to their argument type.
+_OPTIONAL_NAMES = frozenset({"Optional"})
+
+#: Depth guard for re-export chasing (cycles in module bindings).
+_MAX_CHASE = 16
+
+
+@dataclass
+class ParsedModule:
+    """One analyzed file, under its resolved module identity."""
+
+    path: str
+    module: str
+    tree: ast.Module
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method in the analyzed tree."""
+
+    fid: str  # "module:qualname"
+    module: str
+    qualname: str  # "f", "Class.method", "outer.inner"
+    name: str
+    path: str
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    is_async: bool
+    class_cid: Optional[str] = None  # "module:Class" for methods
+
+
+@dataclass
+class ClassInfo:
+    """One class: its methods, bases, and inferred attribute types."""
+
+    cid: str  # "module:ClassName"
+    module: str
+    name: str
+    base_exprs: list[ast.expr] = field(default_factory=list)
+    base_cids: list[str] = field(default_factory=list)
+    methods: dict[str, str] = field(default_factory=dict)  # name -> fid
+    #: self.<attr> -> ("obj" | "list", class cid)
+    attr_types: dict[str, tuple[str, str]] = field(default_factory=dict)
+
+
+@dataclass
+class CallRecord:
+    """One call site inside a function, as resolved as we could get it."""
+
+    node: ast.Call
+    qualified: Optional[str]  # dotted path ("time.time", "subprocess.Popen")
+    target: Optional[str]  # fid of the resolved analyzed function
+    terminal_attr: Optional[str]  # f in a.b.f(...)
+
+
+def iter_body_nodes(func: ast.AST) -> Iterator[ast.AST]:
+    """Every node in *func*'s body except nested function/class bodies.
+
+    Lambda bodies are included — a lambda handed out as a callback still
+    runs its calls in the enclosing function's world (e.g. on the same
+    event loop), which is exactly what the async rules care about.
+    """
+    stack: list[ast.AST] = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` rendered as a string, for Name/Attribute chains."""
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    return ".".join(reversed(parts))
+
+
+class ProjectGraph:
+    """Function/class index + call edges over one analyzed file set."""
+
+    def __init__(self, parsed: list[ParsedModule]) -> None:
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        self.modules: dict[str, ParsedModule] = {}
+        #: module -> name -> ("func", fid) | ("class", cid) | ("import", dotted)
+        self.exports: dict[str, dict[str, tuple[str, str]]] = {}
+        self.imports: dict[str, ImportMap] = {}  # module -> file import map
+        self.calls: dict[str, list[CallRecord]] = {}
+        #: caller fid -> callee fids (call edges + synthetic nested-def edges)
+        self.edges: dict[str, list[str]] = {}
+        self.functions_by_path: dict[str, list[str]] = {}
+
+        for pm in sorted(parsed, key=lambda p: p.path):
+            self.modules[pm.module] = pm
+            self.imports[pm.module] = ImportMap.from_tree(pm.tree)
+            self._register_module(pm)
+        self._resolve_bases()
+        self._infer_attr_types()
+        for fid in sorted(self.functions):
+            self._resolve_calls(fid)
+        self._add_nested_edges()
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def _register_module(self, pm: ParsedModule) -> None:
+        exports = self.exports.setdefault(pm.module, {})
+        for node in pm.tree.body:
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".", 1)[0]
+                    target = alias.name if alias.asname else alias.name.split(".", 1)[0]
+                    exports[local] = ("import", target)
+            elif isinstance(node, ast.ImportFrom) and not node.level:
+                base = node.module or ""
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    dotted = f"{base}.{alias.name}" if base else alias.name
+                    exports[local] = ("import", dotted)
+        self._register_scope(pm, pm.tree.body, qual_prefix="", class_cid=None)
+
+    def _register_scope(
+        self,
+        pm: ParsedModule,
+        body: list[ast.stmt],
+        qual_prefix: str,
+        class_cid: Optional[str],
+    ) -> None:
+        exports = self.exports[pm.module]
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{qual_prefix}{node.name}"
+                fid = f"{pm.module}:{qualname}"
+                self.functions[fid] = FunctionInfo(
+                    fid=fid,
+                    module=pm.module,
+                    qualname=qualname,
+                    name=node.name,
+                    path=pm.path,
+                    node=node,
+                    is_async=isinstance(node, ast.AsyncFunctionDef),
+                    class_cid=class_cid,
+                )
+                self.functions_by_path.setdefault(pm.path, []).append(fid)
+                if not qual_prefix:
+                    exports[node.name] = ("func", fid)
+                if class_cid is not None and qual_prefix.count(".") == qualname.count("."):
+                    self.classes[class_cid].methods[node.name] = fid
+                self._register_scope(
+                    pm, node.body, qual_prefix=f"{qualname}.", class_cid=None
+                )
+            elif isinstance(node, ast.ClassDef):
+                qualname = f"{qual_prefix}{node.name}"
+                cid = f"{pm.module}:{qualname}"
+                self.classes[cid] = ClassInfo(
+                    cid=cid,
+                    module=pm.module,
+                    name=qualname,
+                    base_exprs=list(node.bases),
+                )
+                if not qual_prefix:
+                    exports[node.name] = ("class", cid)
+                self._register_scope(
+                    pm, node.body, qual_prefix=f"{qualname}.", class_cid=cid
+                )
+
+    # ------------------------------------------------------------------
+    # Name resolution (fixpoint over module-level bindings)
+    # ------------------------------------------------------------------
+    def resolve_qualified(
+        self, dotted: str, _depth: int = 0
+    ) -> Optional[tuple[str, str]]:
+        """``("func", fid)`` / ``("class", cid)`` for a dotted path, if analyzed.
+
+        Chases re-export chains (``repro.obs.FlightRecorder`` →
+        ``repro.obs.flight.FlightRecorder``) up to a depth guard.
+        """
+        if _depth > _MAX_CHASE:
+            return None
+        parts = dotted.split(".")
+        for i in range(len(parts) - 1, 0, -1):
+            prefix = ".".join(parts[:i])
+            if prefix in self.modules:
+                return self._resolve_in_module(prefix, parts[i:], _depth)
+        return None
+
+    def _resolve_in_module(
+        self, module: str, rest: list[str], depth: int
+    ) -> Optional[tuple[str, str]]:
+        entry = self.exports.get(module, {}).get(rest[0])
+        if entry is None:
+            return None
+        kind, target = entry
+        if kind == "import":
+            dotted = ".".join([target, *rest[1:]])
+            return self.resolve_qualified(dotted, depth + 1)
+        if kind == "func":
+            return ("func", target) if len(rest) == 1 else None
+        # kind == "class"
+        if len(rest) == 1:
+            return ("class", target)
+        if len(rest) == 2:
+            fid = self.class_method(target, rest[1])
+            return ("func", fid) if fid is not None else None
+        return None
+
+    def class_method(
+        self, cid: str, name: str, _seen: Optional[set[str]] = None
+    ) -> Optional[str]:
+        """Method *name* on class *cid*, searching bases transitively."""
+        seen = _seen if _seen is not None else set()
+        if cid in seen:
+            return None
+        seen.add(cid)
+        info = self.classes.get(cid)
+        if info is None:
+            return None
+        fid = info.methods.get(name)
+        if fid is not None:
+            return fid
+        for base in info.base_cids:
+            fid = self.class_method(base, name, seen)
+            if fid is not None:
+                return fid
+        return None
+
+    def _resolve_bases(self) -> None:
+        for cid in sorted(self.classes):
+            info = self.classes[cid]
+            for expr in info.base_exprs:
+                resolved = self._class_of_annotation(expr, info.module)
+                if resolved is not None and resolved[0] == "obj":
+                    info.base_cids.append(resolved[1])
+
+    # ------------------------------------------------------------------
+    # Type-of-annotation / type-of-expression helpers
+    # ------------------------------------------------------------------
+    def _class_of_annotation(
+        self, ann: Optional[ast.AST], module: str
+    ) -> Optional[tuple[str, str]]:
+        """``("obj"|"list", cid)`` for an annotation expression, if analyzed."""
+        if ann is None:
+            return None
+        if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+            try:
+                ann = ast.parse(ann.value, mode="eval").body
+            except SyntaxError:
+                return None
+        if isinstance(ann, ast.BinOp) and isinstance(ann.op, ast.BitOr):
+            # X | None (either side)
+            for side in (ann.left, ann.right):
+                if not (isinstance(side, ast.Constant) and side.value is None):
+                    resolved = self._class_of_annotation(side, module)
+                    if resolved is not None:
+                        return resolved
+            return None
+        if isinstance(ann, ast.Subscript):
+            head = ann.value
+            head_name = head.id if isinstance(head, ast.Name) else (
+                head.attr if isinstance(head, ast.Attribute) else None
+            )
+            if head_name in _OPTIONAL_NAMES:
+                return self._class_of_annotation(ann.slice, module)
+            if head_name in _SEQUENCE_NAMES:
+                inner = self._class_of_annotation(ann.slice, module)
+                if inner is not None and inner[0] == "obj":
+                    return ("list", inner[1])
+            return None
+        dotted = _dotted_name(ann)
+        if dotted is None:
+            return None
+        resolved = self._resolve_dotted_in(module, dotted)
+        if resolved is not None and resolved[0] == "class":
+            return ("obj", resolved[1])
+        return None
+
+    def _resolve_dotted_in(self, module: str, dotted: str) -> Optional[tuple[str, str]]:
+        """Resolve a dotted name as seen from inside *module*."""
+        head, _, rest = dotted.partition(".")
+        entry = self.exports.get(module, {}).get(head)
+        if entry is not None:
+            kind, target = entry
+            if kind == "import":
+                full = f"{target}.{rest}" if rest else target
+                return self.resolve_qualified(full)
+            if not rest:
+                return (("func", target) if kind == "func" else ("class", target))
+            if kind == "class" and rest and "." not in rest:
+                fid = self.class_method(target, rest)
+                return ("func", fid) if fid is not None else None
+            return None
+        # fall back to the file's import map semantics (function-local
+        # imports included)
+        imports = self.imports.get(module)
+        if imports is None:
+            return None
+        resolved = imports.alias_for(head)
+        if resolved is None:
+            return None
+        full = f"{resolved}.{rest}" if rest else resolved
+        return self.resolve_qualified(full)
+
+    def _annotation_dotted(self, ann: Optional[ast.AST]) -> Optional[str]:
+        if ann is None:
+            return None
+        if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+            try:
+                ann = ast.parse(ann.value, mode="eval").body
+            except SyntaxError:
+                return None
+        return _dotted_name(ann)
+
+    def _infer_attr_types(self) -> None:
+        """Infer ``self.<attr>`` classes from constructors and annotations."""
+        for cid in sorted(self.classes):
+            info = self.classes[cid]
+            for mname in sorted(info.methods):
+                func = self.functions[info.methods[mname]]
+                node = func.node
+                assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                param_types: dict[str, tuple[str, str]] = {}
+                for arg in [*node.args.posonlyargs, *node.args.args, *node.args.kwonlyargs]:
+                    resolved = self._class_of_annotation(arg.annotation, info.module)
+                    if resolved is not None:
+                        param_types[arg.arg] = resolved
+                for sub in iter_body_nodes(node):
+                    target: Optional[ast.AST] = None
+                    value: Optional[ast.AST] = None
+                    if isinstance(sub, ast.AnnAssign):
+                        target = sub.target
+                        if self._is_self_attr(target):
+                            resolved = self._class_of_annotation(
+                                sub.annotation, info.module
+                            )
+                            if resolved is not None:
+                                info.attr_types.setdefault(target.attr, resolved)  # type: ignore[union-attr]
+                        continue
+                    if isinstance(sub, ast.Assign) and len(sub.targets) == 1:
+                        target, value = sub.targets[0], sub.value
+                    if target is None or not self._is_self_attr(target):
+                        continue
+                    assert isinstance(target, ast.Attribute)
+                    if isinstance(value, ast.Name) and value.id in param_types:
+                        info.attr_types.setdefault(target.attr, param_types[value.id])
+                    elif isinstance(value, ast.Call):
+                        ctor = self._constructed_class(value, info.module)
+                        if ctor is not None:
+                            info.attr_types.setdefault(target.attr, ("obj", ctor))
+
+    @staticmethod
+    def _is_self_attr(node: ast.AST) -> bool:
+        return (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        )
+
+    def _constructed_class(self, call: ast.Call, module: str) -> Optional[str]:
+        dotted = _dotted_name(call.func)
+        if dotted is None:
+            return None
+        resolved = self._resolve_dotted_in(module, dotted)
+        if resolved is not None and resolved[0] == "class":
+            return resolved[1]
+        return None
+
+    # ------------------------------------------------------------------
+    # Call resolution
+    # ------------------------------------------------------------------
+    def _resolve_calls(self, fid: str) -> None:
+        func = self.functions[fid]
+        node = func.node
+        assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        imports = self.imports[func.module]
+        cls = self.classes.get(func.class_cid) if func.class_cid else None
+
+        # -- flow-insensitive local environment -------------------------
+        local_types: dict[str, tuple[str, str]] = {}
+        popen_names: set[str] = set()
+        writer_names: set[str] = set()
+        for arg in [*node.args.posonlyargs, *node.args.args, *node.args.kwonlyargs]:
+            resolved = self._class_of_annotation(arg.annotation, func.module)
+            if resolved is not None:
+                local_types[arg.arg] = resolved
+            dotted = self._annotation_dotted(arg.annotation)
+            if dotted is not None and dotted.split(".")[-1] == "StreamWriter":
+                writer_names.add(arg.arg)
+        for sub in iter_body_nodes(node):
+            if isinstance(sub, ast.Assign) and len(sub.targets) == 1:
+                target, value = sub.targets[0], sub.value
+                if isinstance(target, ast.Name) and isinstance(value, ast.Call):
+                    ctor = self._constructed_class(value, func.module)
+                    if ctor is not None:
+                        local_types.setdefault(target.id, ("obj", ctor))
+                    qualified = imports.resolve(value.func)
+                    if qualified == "subprocess.Popen":
+                        popen_names.add(target.id)
+            elif isinstance(sub, (ast.For, ast.AsyncFor)) and isinstance(
+                sub.target, ast.Name
+            ):
+                elem = self._element_type(sub.iter, cls, local_types)
+                if elem is not None:
+                    local_types.setdefault(sub.target.id, ("obj", elem))
+            elif isinstance(sub, ast.withitem) and isinstance(
+                sub.optional_vars, ast.Name
+            ) and isinstance(sub.context_expr, ast.Call):
+                ctor = self._constructed_class(sub.context_expr, func.module)
+                if ctor is not None:
+                    local_types.setdefault(sub.optional_vars.id, ("obj", ctor))
+
+        # -- call records -----------------------------------------------
+        records: list[CallRecord] = []
+        edges: list[str] = []
+        body_calls = [n for n in iter_body_nodes(node) if isinstance(n, ast.Call)]
+        for call in sorted(body_calls, key=lambda c: (c.lineno, c.col_offset)):
+            record = self._resolve_one_call(
+                call, func, cls, imports, local_types, popen_names, writer_names
+            )
+            records.append(record)
+            if record.target is not None:
+                edges.append(record.target)
+        self.calls[fid] = records
+        self.edges[fid] = edges
+
+    def _element_type(
+        self,
+        iterable: ast.AST,
+        cls: Optional[ClassInfo],
+        local_types: dict[str, tuple[str, str]],
+    ) -> Optional[str]:
+        if self._is_self_attr(iterable) and cls is not None:
+            assert isinstance(iterable, ast.Attribute)
+            entry = cls.attr_types.get(iterable.attr)
+        elif isinstance(iterable, ast.Name):
+            entry = local_types.get(iterable.id)
+        else:
+            entry = None
+        if entry is not None and entry[0] == "list":
+            return entry[1]
+        return None
+
+    def _resolve_one_call(
+        self,
+        call: ast.Call,
+        func: FunctionInfo,
+        cls: Optional[ClassInfo],
+        imports: ImportMap,
+        local_types: dict[str, tuple[str, str]],
+        popen_names: set[str],
+        writer_names: set[str],
+    ) -> CallRecord:
+        callee = call.func
+        terminal = callee.attr if isinstance(callee, ast.Attribute) else None
+        qualified = imports.resolve(callee)
+        target: Optional[str] = None
+
+        if qualified is not None:
+            resolved = self.resolve_qualified(qualified)
+            if resolved is not None:
+                kind, ident = resolved
+                target = ident if kind == "func" else self.class_method(ident, "__init__")
+        elif isinstance(callee, ast.Name):
+            name = callee.id
+            # nested def in an enclosing scope of this function
+            prefix = func.qualname
+            while target is None and prefix:
+                target = self.functions.get(f"{func.module}:{prefix}.{name}", None) and (
+                    f"{func.module}:{prefix}.{name}"
+                )
+                prefix = prefix.rsplit(".", 1)[0] if "." in prefix else ""
+            if target is None:
+                entry = self.exports.get(func.module, {}).get(name)
+                if entry is not None:
+                    kind, ident = entry
+                    if kind == "func":
+                        target = ident
+                    elif kind == "class":
+                        target = self.class_method(ident, "__init__")
+        elif isinstance(callee, ast.Attribute):
+            base = callee.value
+            attr = callee.attr
+            if isinstance(base, ast.Name):
+                if base.id == "self" and func.class_cid is not None:
+                    target = self.class_method(func.class_cid, attr)
+                elif base.id in popen_names and qualified is None:
+                    qualified = f"subprocess.Popen.{attr}"
+                elif base.id in writer_names and qualified is None:
+                    qualified = f"asyncio.StreamWriter.{attr}"
+                elif base.id in local_types and local_types[base.id][0] == "obj":
+                    target = self.class_method(local_types[base.id][1], attr)
+            elif self._is_self_attr(base) and cls is not None:
+                assert isinstance(base, ast.Attribute)
+                entry = cls.attr_types.get(base.attr)
+                if entry is not None and entry[0] == "obj":
+                    target = self.class_method(entry[1], attr)
+        return CallRecord(
+            node=call, qualified=qualified, target=target, terminal_attr=terminal
+        )
+
+    def _add_nested_edges(self) -> None:
+        """Synthetic edge enclosing → nested def (effects surface at the def)."""
+        for fid in sorted(self.functions):
+            func = self.functions[fid]
+            prefix = f"{func.qualname}."
+            for other_fid in sorted(self.functions):
+                other = self.functions[other_fid]
+                if (
+                    other.module == func.module
+                    and other.qualname.startswith(prefix)
+                    and "." not in other.qualname[len(prefix):]
+                ):
+                    self.edges.setdefault(fid, []).append(other_fid)

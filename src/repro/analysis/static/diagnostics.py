@@ -95,6 +95,69 @@ RULES: dict[str, Rule] = {
             ),
         ),
         Rule(
+            code="DET006",
+            name="transitive-wall-clock-or-rng",
+            summary=(
+                "sim-path call whose resolved callee transitively reaches "
+                "a wall-clock read or unseeded RNG draw in another module"
+            ),
+            rationale=(
+                "DET001/DET002 see one module at a time; a sim-path "
+                "function calling a helper elsewhere that reads time.time() "
+                "is exactly as non-reproducible.  The effect engine "
+                "propagates WALL_CLOCK/RNG over the project call graph, "
+                "cut at the sanctioned observability boundary, and flags "
+                "the sim-path call site with a witness chain."
+            ),
+        ),
+        Rule(
+            code="ASY001",
+            name="blocking-in-async",
+            summary=(
+                "blocking syscall (os.fsync, time.sleep, Popen.wait, "
+                "subprocess.run …) reachable from an async def in "
+                "repro.live"
+            ),
+            rationale=(
+                "One blocked coroutine stalls every client on the event "
+                "loop: bids stop being answered, deadlines keep draining. "
+                "Blocking work must be offloaded (run_in_executor) or the "
+                "suppression must argue why the stall is bounded and "
+                "acceptable."
+            ),
+        ),
+        Rule(
+            code="ASY002",
+            name="await-check-then-act",
+            summary=(
+                "self.<attr> read in an if/while test, an await that "
+                "yields the loop, then a dependent mutation of the same "
+                "attribute"
+            ),
+            rationale=(
+                "Between the check and the act another task can run and "
+                "invalidate the check — the single-threaded-until-await "
+                "model makes these races easy to write and hard to see. "
+                "Re-check after the await, or mutate before it."
+            ),
+        ),
+        Rule(
+            code="WAL001",
+            name="act-before-journal",
+            summary=(
+                "spawn / client-response write / contract settlement in "
+                "repro.live with no preceding journal-append intent on the "
+                "intraprocedural path"
+            ),
+            rationale=(
+                "PR 8's crash-durability contract: journal the intent, "
+                "then act, so recovery can reconcile acts against intents. "
+                "An act with no prior intent record is invisible to "
+                "recovery — an orphan process or unaccounted settlement "
+                "after a crash."
+            ),
+        ),
+        Rule(
             code="CFG001",
             name="frozen-config-mutation",
             summary=(

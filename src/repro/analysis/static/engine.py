@@ -15,7 +15,9 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional, Sequence
 
 from repro.analysis.static.astutils import FileContext
+from repro.analysis.static.callgraph import ParsedModule, ProjectGraph
 from repro.analysis.static.diagnostics import RULES, Diagnostic, sort_key
+from repro.analysis.static.effects import EffectIndex
 from repro.analysis.static.modulemap import module_name_for_path, module_pragma
 from repro.analysis.static.noqa import apply_suppressions, collect_suppressions
 from repro.analysis.static.rules_determinism import (
@@ -24,6 +26,12 @@ from repro.analysis.static.rules_determinism import (
     check_det003,
     check_det004,
     check_det005,
+)
+from repro.analysis.static.rules_effects import (
+    check_asy001,
+    check_asy002,
+    check_det006,
+    check_wal001,
 )
 from repro.analysis.static.rules_hygiene import (
     check_cfg001,
@@ -45,16 +53,49 @@ CHECKS: dict[str, Callable[[FileContext], list[Diagnostic]]] = {
     "DET003": check_det003,
     "DET004": check_det004,
     "DET005": check_det005,
+    "DET006": check_det006,
+    "ASY001": check_asy001,
+    "ASY002": check_asy002,
+    "WAL001": check_wal001,
     "CFG001": check_cfg001,
     "EXP001": check_exp001,
     "OBS001": check_obs001,
     "OBS002": check_obs002,
 }
 
+#: Rules that need the project-wide call graph / effect index.  The
+#: engine only pays for graph construction when the selection asks.
+INTERPROCEDURAL_RULES = frozenset({"DET006", "ASY001", "ASY002", "WAL001"})
+
 #: Pseudo-codes emitted by the engine itself (not selectable, never
 #: suppressible): parse failures and stale noqa comments.
 PARSE_ERROR = "E999"
 STALE_NOQA = "NQA000"
+
+
+@dataclass
+class ProjectContext:
+    """Call graph + effect index over one analyzed file set (pass 1).
+
+    ``caches`` / ``hazard_via`` are scratch space for rule-level derived
+    structures (today: DET006's gated hazard closure), computed once per
+    run on first use and shared across files.
+    """
+
+    graph: ProjectGraph
+    effects: EffectIndex
+    caches: dict[str, dict] = field(default_factory=dict)
+    hazard_via: dict[tuple[str, str], str] = field(default_factory=dict)
+
+
+def build_project(parsed: Sequence[tuple[str, str, ast.Module]]) -> ProjectContext:
+    """Build the interprocedural context from (path, module, tree) triples."""
+    modules = [
+        ParsedModule(path=path, module=module, tree=tree)
+        for path, module, tree in parsed
+    ]
+    graph = ProjectGraph(modules)
+    return ProjectContext(graph=graph, effects=EffectIndex(graph))
 
 
 @dataclass
@@ -149,6 +190,7 @@ def analyze_file(
     strict_noqa: bool = False,
     source: Optional[str] = None,
     tree: Optional[ast.Module] = None,
+    project: Optional[ProjectContext] = None,
 ) -> list[Diagnostic]:
     """Run the selected rules over one file and apply suppressions."""
     if source is None or tree is None:
@@ -157,12 +199,16 @@ def analyze_file(
             return [failure]
         assert tree is not None
     module = module_pragma(source) or module_name_for_path(path)
+    if project is None and INTERPROCEDURAL_RULES.intersection(select):
+        # standalone single-file analysis still gets a (degenerate) graph
+        project = build_project([(path, module, tree)])
     ctx = FileContext(
         path=path,
         module=module,
         source=source,
         tree=tree,
         frozen_classes=frozen_classes,
+        project=project,
     )
     raw: list[Diagnostic] = []
     for code in select:
@@ -170,9 +216,19 @@ def analyze_file(
     suppressions = collect_suppressions(source)
     kept = apply_suppressions(raw, suppressions)
     if strict_noqa:
+        # a suppression is only provably stale when every rule it could
+        # serve actually ran: a noqa naming an unselected code (or a
+        # blanket noqa under a narrow --select) might be used by the
+        # rules we skipped
+        full_selection = set(select) >= set(RULES)
         for line in sorted(suppressions):
             suppression = suppressions[line]
-            if not suppression.used:
+            checkable = (
+                full_selection
+                if not suppression.codes
+                else suppression.codes.issubset(select)
+            )
+            if checkable and not suppression.used:
                 kept.append(
                     Diagnostic(
                         path=path,
@@ -202,7 +258,9 @@ def analyze_paths(
     selection = resolve_selection(select)
     files = discover_files(paths)
 
-    # Pass 1: parse everything, build the project-wide frozen-class index.
+    # Pass 1: parse everything, build the project-wide frozen-class index
+    # (and, when an interprocedural rule is selected, the call graph +
+    # effect index over the same file set).
     parsed: list[tuple[str, str, Optional[ast.Module]]] = []
     failures: list[Diagnostic] = []
     frozen: set[str] = set()
@@ -214,6 +272,16 @@ def analyze_paths(
         assert tree is not None
         frozen.update(frozen_dataclass_names(tree))
         parsed.append((path, source, tree))
+
+    project: Optional[ProjectContext] = None
+    if INTERPROCEDURAL_RULES.intersection(selection):
+        project = build_project(
+            [
+                (path, module_pragma(source) or module_name_for_path(path), tree)
+                for path, source, tree in parsed
+                if tree is not None
+            ]
+        )
 
     # Pass 2: rules + suppression per file.
     run = LintRun(files_checked=len(files))
@@ -228,6 +296,7 @@ def analyze_paths(
                 strict_noqa=strict_noqa,
                 source=source,
                 tree=tree,
+                project=project,
             )
         )
     run.diagnostics.sort(key=sort_key)

@@ -160,6 +160,16 @@ def is_print_allowed(module: str) -> bool:
     return not is_repro_library(module) or _under(module, PRINT_ALLOWLIST_PREFIXES)
 
 
+def is_live_service(module: str) -> bool:
+    """The asyncio service layer: event-loop and WAL disciplines apply.
+
+    Scope of ASY001/ASY002/WAL001 — the only package where an event loop
+    runs on the wall clock and where PR 8's journal-before-act contract
+    is load-bearing.
+    """
+    return _under(module, ("repro.live",))
+
+
 def is_timestamp_passive(module: str) -> bool:
     """Observability code that takes timestamps as arguments, never reads them."""
     return _under(module, TIMESTAMP_PASSIVE_PREFIXES)

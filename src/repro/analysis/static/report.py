@@ -66,7 +66,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=["text", "json"],
+        choices=["text", "json", "sarif"],
         default="text",
         dest="fmt",
         help="report format (default: text)",
@@ -112,6 +112,10 @@ def run_lint(
         return 2
     if fmt == "json":
         sys.stdout.write(render_json(run))
+    elif fmt == "sarif":
+        from repro.analysis.static.sarif import render_sarif
+
+        sys.stdout.write(render_sarif(run))
     else:
         print(render_text(run))
     return 0 if run.clean else 1

@@ -1,0 +1,83 @@
+"""SARIF 2.1.0 rendering for ``repro lint --format sarif``.
+
+One run, one tool (``repro-lint``), one result per finding — the subset
+GitHub code scanning consumes for PR annotations.  Output is fully
+deterministic (sorted keys, fixed indent, trailing newline) so CI can
+``cmp`` it against a committed golden.
+
+Column convention: SARIF regions are 1-based, our diagnostics carry
+0-based AST column offsets, hence ``startColumn = col + 1``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.static.diagnostics import _ENGINE_CODES, RULES
+from repro.analysis.static.engine import LintRun
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+
+def _rule_descriptor(code: str) -> dict[str, object]:
+    rule = RULES.get(code)
+    if rule is not None:
+        return {
+            "id": code,
+            "name": rule.name,
+            "shortDescription": {"text": rule.summary},
+            "fullDescription": {"text": rule.rationale},
+        }
+    # engine pseudo-codes (E999 parse errors, NQA000 stale noqa)
+    return {
+        "id": code,
+        "name": _ENGINE_CODES.get(code, code.lower()),
+        "shortDescription": {"text": _ENGINE_CODES.get(code, code)},
+    }
+
+
+def render_sarif(run: LintRun) -> str:
+    """The full SARIF document for one lint run, as a JSON string."""
+    codes_present = sorted({diag.code for diag in run.diagnostics})
+    # catalog rules always ship (stable driver metadata); pseudo-codes
+    # only when present, so a clean run and a parse-error run differ
+    # exactly where they should
+    rule_ids = list(RULES) + [c for c in codes_present if c not in RULES]
+    results = [
+        {
+            "ruleId": diag.code,
+            "level": "error",
+            "message": {"text": diag.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": diag.path.replace("\\", "/"),
+                        },
+                        "region": {
+                            "startLine": diag.line,
+                            "startColumn": diag.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for diag in run.diagnostics
+    ]
+    doc = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": [_rule_descriptor(code) for code in rule_ids],
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(doc, indent=1, sort_keys=True) + "\n"

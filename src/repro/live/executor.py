@@ -102,7 +102,9 @@ class SubprocessExecutor:
             self.peak_running = max(self.peak_running, self.running)
             self.started += 1
             started_at = self.clock.now
-            proc = await asyncio.create_subprocess_exec(
+            # journaling is the caller's job via on_spawn below: the spawn
+            # intent needs the child's PID, which only exists post-fork
+            proc = await asyncio.create_subprocess_exec(  # repro: noqa WAL001  # PID known only after fork; on_spawn journals it immediately
                 *argv,
                 stdout=asyncio.subprocess.DEVNULL,
                 stderr=asyncio.subprocess.DEVNULL,

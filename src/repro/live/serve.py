@@ -227,12 +227,14 @@ async def _serve(config: LiveConfig, args: argparse.Namespace) -> int:
             # pre-crash journal in one auditable file
             append=recover_path is not None and journal_path == recover_path,
         )
-        flight = FlightRecorder(sink=sink, clock_domain="wall")
+        # boot-time header write, before the server socket exists: no
+        # client is waiting on this loop iteration yet
+        flight = FlightRecorder(sink=sink, clock_domain="wall")  # repro: noqa ASY001  # boot-time header write; nothing is being served yet
         flight_path = journal_path
         if plan is not None:
             flight.seq = plan.next_seq
     elif getattr(args, "flight_out", None):
-        flight = FlightRecorder(args.flight_out, clock_domain="wall")
+        flight = FlightRecorder(args.flight_out, clock_domain="wall")  # repro: noqa ASY001  # boot-time header write; nothing is being served yet
         flight_path = args.flight_out
 
     clock = None
@@ -243,7 +245,9 @@ async def _serve(config: LiveConfig, args: argparse.Namespace) -> int:
         # pre-crash contracts can settle (never before their signing)
         clock = WallClock(config.rate, start=plan.resume_at)
 
-    service = LiveService(config, obs=obs, clock=clock, flight=flight)
+    # site_open journal records during construction — still boot time,
+    # before start_http binds the listening socket
+    service = LiveService(config, obs=obs, clock=clock, flight=flight)  # repro: noqa ASY001  # boot-time site_open records; server not listening yet
     if plan is not None:
         from repro.live.recovery import apply_recovery
 
@@ -281,7 +285,9 @@ async def _serve(config: LiveConfig, args: argparse.Namespace) -> int:
     await service.stop()
     obs.end_run(service.clock.now)
     if flight is not None:
-        flight.close()
+        # shutdown-time final sync: the HTTP server is closed and the
+        # service drained — the loop has nothing left to serve
+        flight.close()  # repro: noqa ASY001  # final sync after drain; no clients left to stall
         print(f"wrote {flight_path} ({len(flight.events)} flight records)")
     _write_artifacts(obs, args)
 

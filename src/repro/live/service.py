@@ -34,6 +34,7 @@ from repro.live.config import LiveConfig
 from repro.live.executor import ExecutionReport, SubprocessExecutor
 from repro.live.site import LiveSite
 from repro.market.broker import Broker, best_surplus, best_yield, earliest_completion
+from repro.obs.flight import FlightRecorder
 from repro.obs.prom import RateWindow
 from repro.sim.clock import Clock
 from repro.tasks.bid import TaskBid
@@ -114,7 +115,7 @@ class LiveService:
         config: LiveConfig,
         obs=None,
         clock: Optional[Clock] = None,
-        flight=None,
+        flight: Optional[FlightRecorder] = None,
     ) -> None:
         try:
             strategy = STRATEGIES[config.strategy]
@@ -361,6 +362,15 @@ class LiveService:
     async def start(self) -> None:
         if self._loop_task is not None:
             raise LiveServiceError("service already started")
+        if self.flight is not None and self.flight.sink is not None:
+            # interval-policy journal fsyncs run on the default thread
+            # pool so the durability cadence never stalls the dispatch
+            # loop (fsync=always stays synchronous: that policy trades
+            # latency for write-ahead strictness on purpose)
+            loop = asyncio.get_running_loop()
+            self.flight.sink.set_offload(
+                lambda fn: loop.run_in_executor(None, fn)
+            )
         self._loop_task = asyncio.create_task(self._dispatch_loop())
 
     def _kick(self) -> None:
@@ -424,11 +434,14 @@ class LiveService:
             if self._inflight:
                 await asyncio.wait(set(self._inflight))
             for site in self.sites:
-                site.abandon_queued()
+                # settlement journal writes during forced abandonment:
+                # drain is shutdown — stalling the loop here delays no
+                # client, and the records must be durable before exit
+                site.abandon_queued()  # repro: noqa ASY001  # shutdown path; durability beats latency once draining
         if self.flight is not None:
             # closing books per site: the audit's reconciliation anchor
             for site in self.sites:
-                self.flight.site_summary(
+                self.flight.site_summary(  # repro: noqa ASY001  # shutdown path; summary must hit the journal before exit
                     self.clock.now,
                     site.site_id,
                     revenue=site.revenue,
@@ -438,13 +451,16 @@ class LiveService:
                 )
 
     async def stop(self) -> None:
-        if self._loop_task is not None:
-            self._loop_task.cancel()
+        # detach before awaiting: a concurrent stop() arriving while we
+        # sit in the await below must see _loop_task already cleared, or
+        # it would cancel/await a task the first caller is consuming
+        task, self._loop_task = self._loop_task, None
+        if task is not None:
+            task.cancel()
             try:
-                await self._loop_task
+                await task
             except asyncio.CancelledError:
                 pass
-            self._loop_task = None
 
     # ------------------------------------------------------------------
     # Introspection (GET /status, /tasks)

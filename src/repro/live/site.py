@@ -33,6 +33,7 @@ from repro.errors import MarketError
 from repro.live.config import LiveSiteSpec
 from repro.live.executor import ExecutionReport, SubprocessExecutor, sleep_argv
 from repro.market.pricing import BidValuePricing, PricingPolicy
+from repro.obs.flight import FlightRecorder
 from repro.scheduling.pool import PendingPool
 from repro.scheduling.registry import make_heuristic
 from repro.sim.clock import Clock
@@ -72,7 +73,7 @@ class LiveSite:
         max_restarts: int = 1,
         pricing: Optional[PricingPolicy] = None,
         obs=None,
-        flight=None,
+        flight: Optional[FlightRecorder] = None,
     ) -> None:
         self.clock = clock
         self.site_id = spec.site_id
@@ -212,11 +213,15 @@ class LiveSite:
         timeout = (
             self.timeout_factor * task.estimate if self.timeout_factor > 0 else None
         )
+        # the spawn-intent and settlement journal writes below block only
+        # under fsync=always (the operator's explicit write-ahead
+        # strictness, gated by the serve_journal_overhead bench);
+        # interval-policy syncs run on the thread pool (LiveService.start)
         report = await self.executor.run(
-            argv, timeout, on_spawn=lambda pid: self._note_spawn(task, argv, pid)
+            argv, timeout, on_spawn=lambda pid: self._note_spawn(task, argv, pid)  # repro: noqa ASY001  # fsync=always is deliberate write-ahead strictness; interval is offloaded
         )
         self._report_of[task.tid] = report
-        self._on_exit(task, report)
+        self._on_exit(task, report)  # repro: noqa ASY001  # fsync=always is deliberate write-ahead strictness; interval is offloaded
 
     def _note_spawn(self, task: Task, argv: tuple[str, ...], pid: int) -> None:
         """Journal a spawn intent: the PID (plus argv[0] to guard against
@@ -290,16 +295,21 @@ class LiveSite:
         if contract is None:
             return
         now = self.clock.now
+        # settlement is self-journaling: the settlement record right
+        # below is the journal entry, and recovery re-settles any
+        # contract whose settlement never reached the journal — the
+        # idempotent-redo half of the WAL contract (see
+        # repro.live.recovery), so no separate intent precedes the act
         if task.state.value == "cancelled":
             if math.isfinite(contract.vf.floor):
-                price = contract.settle_breach(now)
+                price = contract.settle_breach(now)  # repro: noqa WAL001  # self-journaling: settlement record follows; recovery re-settles on crash
                 outcome = "breached"
             else:
-                price = contract.settle_abandoned(now, release=task.arrival)
+                price = contract.settle_abandoned(now, release=task.arrival)  # repro: noqa WAL001  # self-journaling: settlement record follows; recovery re-settles on crash
                 outcome = "abandoned"
         else:
             assert task.completion is not None
-            price = contract.settle(task.completion, release=task.arrival)
+            price = contract.settle(task.completion, release=task.arrival)  # repro: noqa WAL001  # self-journaling: settlement record follows; recovery re-settles on crash
             outcome = "completed"
         self.revenue += price
         if self.flight is not None:

@@ -30,7 +30,7 @@ import json
 import math
 import os
 from dataclasses import dataclass, field
-from typing import IO, Optional
+from typing import IO, Callable, Optional
 
 #: Bump when record fields/semantics change incompatibly.
 FLIGHT_SCHEMA = 1
@@ -180,6 +180,23 @@ class JournalSink:
         self.lines = 0
         self.syncs = 0
         self._unsynced = 0
+        #: when set (see :meth:`set_offload`), interval-policy fsyncs are
+        #: submitted through this callable instead of blocking the caller
+        self.offload: Optional[Callable[[Callable[[], None]], object]] = None
+
+    def set_offload(self, offload: Optional[Callable[[Callable[[], None]], object]]) -> None:
+        """Route *interval*-policy fsyncs through *offload* (e.g. a thread pool).
+
+        The live service installs ``loop.run_in_executor`` here so the
+        periodic durability sync never stalls the event loop.  Only the
+        ``interval`` policy is offloaded: ``always`` means "the record is
+        on disk before the caller proceeds", and weakening that ordering
+        would change what the operator asked for; ``close`` likewise
+        stays synchronous so shutdown hands back a fully-synced file.
+        This module stays asyncio-free — the policy of *where* the sync
+        runs belongs to the caller.
+        """
+        self.offload = offload
 
     def write_line(self, text: str) -> None:
         """Append one line; flush always, fsync per policy."""
@@ -189,16 +206,39 @@ class JournalSink:
         self._file.flush()
         self.lines += 1
         self._unsynced += 1
-        if self.fsync == "always" or (
-            self.fsync == "interval" and self._unsynced >= FSYNC_INTERVAL_RECORDS
-        ):
+        if self.fsync == "always":
             self._sync()
+        elif self.fsync == "interval" and self._unsynced >= FSYNC_INTERVAL_RECORDS:
+            if self.offload is not None:
+                self._sync_offloaded()
+            else:
+                self._sync()
 
     def _sync(self) -> None:
         assert self._file is not None
         os.fsync(self._file.fileno())
         self.syncs += 1
         self._unsynced = 0
+
+    def _sync_offloaded(self) -> None:
+        """Submit the fsync elsewhere; counters advance at submission.
+
+        The fd is captured by value: if the sink is closed before the
+        pool runs the sync, ``close`` has already synced and closed that
+        fd, and the stale-fd fsync degrades to a harmless ``OSError``.
+        """
+        assert self._file is not None
+        fd = self._file.fileno()
+        self.syncs += 1
+        self._unsynced = 0
+
+        def _do_sync() -> None:
+            try:
+                os.fsync(fd)
+            except OSError:
+                pass  # sink closed (and final-synced) before the pool ran
+
+        self.offload(_do_sync)  # type: ignore[misc]
 
     def close(self) -> None:
         """Final sync (unless ``off``) and close; idempotent."""

@@ -1,0 +1,41 @@
+# repro-lint: module=repro.live.fixture_async
+"""ASY001 fixture: blocking effects on the live event loop.
+
+Positives: a direct ``time.sleep`` in an ``async def``, a sync helper
+whose closure reaches ``os.fsync``, and a sync helper that spawns and
+``wait()``s a subprocess.  Negatives: ``await asyncio.sleep`` (yields,
+never blocks) and the same blocking helper called from a *sync*
+function (no event loop to stall).
+"""
+
+import asyncio
+import os
+import subprocess
+import time
+
+
+def _flush(fd: int) -> None:
+    os.fsync(fd)
+
+
+def _spawn_and_wait(argv: list, journal) -> int:
+    # journal-before-act: the spawn intent precedes the Popen (WAL001
+    # stays quiet); the wait() is what ASY001 sees in the closure
+    journal.intent(0.0, "spawn")
+    proc = subprocess.Popen(argv)
+    return proc.wait()
+
+
+async def handle(fd: int) -> None:
+    time.sleep(0.1)  # expect: ASY001
+    _flush(fd)  # expect: ASY001
+    await asyncio.sleep(0.1)
+
+
+async def run_child(argv: list, journal) -> int:
+    return _spawn_and_wait(argv, journal)  # expect: ASY001
+
+
+def sync_flush(fd: int) -> None:
+    # sync context: no event loop involved, ASY001 out of scope
+    os.fsync(fd)

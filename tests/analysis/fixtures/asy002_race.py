@@ -1,0 +1,32 @@
+# repro-lint: module=repro.live.fixture_race
+"""ASY002 fixture: check-then-act races across await points.
+
+The positive reads ``self.pending`` in a branch test, awaits (yielding
+the loop to other tasks), then mutates the checked attribute — the
+classic lost-update window.  The negatives mutate *before* the await or
+never re-touch the checked attribute after it.
+"""
+
+import asyncio
+
+
+class Counter:
+    def __init__(self) -> None:
+        self.pending = 0
+        self.closed = False
+
+    async def bump(self) -> None:
+        if self.pending == 0:
+            await asyncio.sleep(0)
+            self.pending += 1  # expect: ASY002
+
+    async def safe_bump(self) -> None:
+        # mutation precedes the await: no interleaving window
+        self.pending += 1
+        await asyncio.sleep(0)
+
+    async def close(self) -> None:
+        # checked attribute is never mutated after the await
+        self.closed = True
+        if self.pending:
+            await asyncio.sleep(0)

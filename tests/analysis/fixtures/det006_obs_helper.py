@@ -1,0 +1,13 @@
+# repro-lint: module=repro.obs.timing
+"""DET006 sanctioned-boundary fixture: observability owns the wall clock.
+
+Sim-path code calling into this module is the *allowed* pattern — the
+hazard closure is cut at wall-clock-allowlisted modules, so ``measure``
+never surfaces as a DET006 finding at its callers.
+"""
+
+import time
+
+
+def measure() -> float:
+    return time.perf_counter()

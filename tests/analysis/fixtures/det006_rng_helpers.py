@@ -1,0 +1,13 @@
+# repro-lint: module=toolbox.jitter
+"""DET006 RNG seed fixture: an unseeded draw *outside* the repro package.
+
+DET001 only polices ``repro.*`` modules, so this helper is invisible to
+the single-module rules — exactly the blind spot DET006 closes when
+sim-path code imports it (see det006_sim_transitive.py).
+"""
+
+import random
+
+
+def draw() -> float:
+    return random.random()

@@ -1,0 +1,37 @@
+# repro-lint: module=repro.scheduling.det006_example
+"""DET006 fixture: sim-path code reaching cross-module hazards.
+
+Positive cases call helpers whose transitive closure hits a wall-clock
+read (``repro.metrics.walltime.stamp``) or an unseeded RNG draw
+(``toolbox.jitter.draw``); the allowed case reaches the wall clock only
+through the sanctioned observability boundary (``repro.obs.timing``).
+"""
+
+# imports are written against the helpers' pragma identities — the call
+# graph indexes fixture files under their impersonated module names
+from repro.metrics.walltime import stamp
+from repro.obs.timing import measure
+from toolbox.jitter import draw
+
+
+def decide(now: float) -> float:
+    return now - stamp()  # expect: DET006
+
+
+def _local_chain() -> float:
+    return stamp()  # expect: DET006
+
+
+def decide_via_local(now: float) -> float:
+    # the hazard survives a same-module intermediate hop
+    return now - _local_chain()  # expect: DET006
+
+
+def tiebreak(n: int) -> float:
+    return draw() * n  # expect: DET006
+
+
+def profiled(now: float) -> float:
+    # sanctioned: repro.obs owns the wall clock; the closure is cut at
+    # the allowlist boundary, so no finding here
+    return now - measure()

@@ -1,0 +1,21 @@
+# repro-lint: module=repro.metrics.walltime
+"""DET006 seed fixture: a wall-clock helper in a *non*-sim-path,
+*non*-allowlisted module.
+
+DET002 stays silent here (``repro.metrics`` is not sim-path) and so does
+DET006 (the rule reports at sim-path *call sites*, not at the seed) —
+the hazard only becomes a finding when sim-path code in another module
+reaches ``stamp`` through the call graph (see det006_sim_transitive.py).
+"""
+
+import time
+
+
+def stamp() -> float:
+    return time.time()
+
+
+def stamp_twice() -> float:
+    # same-module propagation: stamp_twice carries the hazard too, but
+    # still produces no finding — this module is not sim-path
+    return stamp() + time.time()

@@ -11,13 +11,17 @@ allowlist.
 import time
 
 
-def resettle_all(contracts: list, journal_events: list) -> None:
+def resettle_all(contracts: list, journal) -> None:
     now = time.monotonic()  # expect: OBS002
+    # journal-before-act (WAL001): recovery records the begin marker
+    # before re-settling, exactly like repro.live.recovery
+    journal.recovery(now, "begin")
     for contract in contracts:
         contract.settle_abandoned(now, release=0.0)
 
 
-def resettle_all_correctly(contracts: list, now: float) -> None:
+def resettle_all_correctly(contracts: list, journal, now: float) -> None:
     # the sanctioned shape: now arrives from the caller's clock.now
+    journal.recovery(now, "begin")
     for contract in contracts:
         contract.settle_abandoned(now, release=0.0)

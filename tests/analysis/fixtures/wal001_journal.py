@@ -1,0 +1,41 @@
+# repro-lint: module=repro.live.fixture_wal
+"""WAL001 fixture: the journal-before-act discipline.
+
+Acts (subprocess spawn, client-response write, contract settlement) must
+be preceded — lexically, within the function — by a journal append
+(``.intent(...)`` / ``.recovery(...)``).  The guarded
+``if self.flight is not None:`` idiom counts: WAL001 is optimistic
+across branches by design.
+"""
+
+import asyncio
+import subprocess
+
+
+class Spawner:
+    def __init__(self, flight) -> None:
+        self.flight = flight
+
+    def launch_unjournaled(self, argv: list) -> None:
+        subprocess.Popen(argv)  # expect: WAL001
+
+    def launch(self, argv: list) -> None:
+        if self.flight is not None:
+            self.flight.intent(0.0, "spawn")
+        subprocess.Popen(argv)
+
+    def settle_unjournaled(self, contract, now: float) -> float:
+        return contract.settle_breach(now)  # expect: WAL001
+
+    def settle(self, contract, now: float) -> float:
+        self.flight.intent(now, "settle")
+        return contract.settle_abandoned(now)
+
+
+def respond_unjournaled(writer: asyncio.StreamWriter, payload: bytes) -> None:
+    writer.write(payload)  # expect: WAL001
+
+
+def respond(flight, writer: asyncio.StreamWriter, payload: bytes) -> None:
+    flight.intent(0.0, "response")
+    writer.write(payload)

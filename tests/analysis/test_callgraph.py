@@ -1,0 +1,341 @@
+"""Unit tests for the project call graph and effect propagation.
+
+Everything here builds graphs from inline sources (no fixture files):
+the contract under test is resolution — aliased imports, re-export
+chasing, method/attribute-type resolution, nested defs, cycles — and
+the transitive effect closure on top of it.
+"""
+
+import ast
+
+from repro.analysis.static.callgraph import ParsedModule, ProjectGraph
+from repro.analysis.static.effects import (
+    BLOCKING_IO,
+    JOURNAL_APPEND,
+    RNG,
+    SHARED_MUTATION,
+    SPAWN,
+    WALL_CLOCK,
+    EffectIndex,
+)
+
+
+def build(files: dict[str, str]) -> ProjectGraph:
+    parsed = [
+        ParsedModule(path=f"{name.replace('.', '/')}.py", module=name, tree=ast.parse(src))
+        for name, src in files.items()
+    ]
+    return ProjectGraph(parsed)
+
+
+def effects_of(files: dict[str, str]) -> tuple[ProjectGraph, EffectIndex]:
+    graph = build(files)
+    return graph, EffectIndex(graph)
+
+
+# ----------------------------------------------------------------------
+# Import / name resolution
+# ----------------------------------------------------------------------
+
+def test_plain_from_import_resolves_cross_module():
+    graph = build(
+        {
+            "pkg.helpers": "def go():\n    pass\n",
+            "pkg.user": "from pkg.helpers import go\n\ndef run():\n    go()\n",
+        }
+    )
+    assert graph.edges["pkg.user:run"] == ["pkg.helpers:go"]
+
+
+def test_aliased_module_import_resolves():
+    graph = build(
+        {
+            "pkg.helpers": "def go():\n    pass\n",
+            "pkg.user": "import pkg.helpers as ph\n\ndef run():\n    ph.go()\n",
+        }
+    )
+    assert graph.edges["pkg.user:run"] == ["pkg.helpers:go"]
+
+
+def test_aliased_from_import_resolves():
+    graph = build(
+        {
+            "pkg.helpers": "def go():\n    pass\n",
+            "pkg.user": "from pkg.helpers import go as g\n\ndef run():\n    g()\n",
+        }
+    )
+    assert graph.edges["pkg.user:run"] == ["pkg.helpers:go"]
+
+
+def test_reexport_chain_is_chased():
+    # consumer imports from the package facade; the definition lives a
+    # re-export hop away — the `from repro.obs import FlightRecorder` shape
+    graph = build(
+        {
+            "pkg.impl": "class Thing:\n    def __init__(self):\n        pass\n",
+            "pkg": "from pkg.impl import Thing\n",
+            "app": "from pkg import Thing\n\ndef make():\n    return Thing()\n",
+        }
+    )
+    assert graph.edges["app:make"] == ["pkg.impl:Thing.__init__"]
+
+
+def test_unresolvable_call_contributes_no_edge():
+    graph = build({"app": "import os\n\ndef run():\n    os.listdir('.')\n"})
+    assert graph.edges["app:run"] == []
+    # but the qualified name is still recorded for effect detectors
+    (record,) = graph.calls["app:run"]
+    assert record.qualified == "os.listdir"
+
+
+# ----------------------------------------------------------------------
+# Method / attribute-type resolution
+# ----------------------------------------------------------------------
+
+def test_self_method_resolution():
+    graph = build(
+        {
+            "app": (
+                "class A:\n"
+                "    def outer(self):\n"
+                "        self.inner()\n"
+                "    def inner(self):\n"
+                "        pass\n"
+            )
+        }
+    )
+    assert graph.edges["app:A.outer"] == ["app:A.inner"]
+
+
+def test_base_class_method_resolution():
+    graph = build(
+        {
+            "app": (
+                "class Base:\n"
+                "    def work(self):\n"
+                "        pass\n"
+                "class Child(Base):\n"
+                "    def run(self):\n"
+                "        self.work()\n"
+            )
+        }
+    )
+    assert graph.edges["app:Child.run"] == ["app:Base.work"]
+
+
+def test_attr_type_from_annotated_init_param():
+    graph = build(
+        {
+            "pkg.sink": "class Sink:\n    def write(self):\n        pass\n",
+            "app": (
+                "from typing import Optional\n"
+                "from pkg.sink import Sink\n"
+                "class Svc:\n"
+                "    def __init__(self, sink: Optional[Sink] = None):\n"
+                "        self.sink = sink\n"
+                "    def flush(self):\n"
+                "        self.sink.write()\n"
+            ),
+        }
+    )
+    assert graph.edges["app:Svc.flush"] == ["pkg.sink:Sink.write"]
+
+
+def test_attr_type_from_constructor_assignment():
+    graph = build(
+        {
+            "app": (
+                "class Ledger:\n"
+                "    def note(self):\n"
+                "        pass\n"
+                "class Site:\n"
+                "    def __init__(self):\n"
+                "        self.ledger = Ledger()\n"
+                "    def settle(self):\n"
+                "        self.ledger.note()\n"
+            )
+        }
+    )
+    assert graph.edges["app:Site.settle"] == ["app:Ledger.note"]
+
+
+def test_loop_variable_over_annotated_list_attr():
+    graph = build(
+        {
+            "app": (
+                "class Site:\n"
+                "    def drain(self):\n"
+                "        pass\n"
+                "class Svc:\n"
+                "    def __init__(self):\n"
+                "        self.sites: list[Site] = []\n"
+                "    def stop(self):\n"
+                "        for site in self.sites:\n"
+                "            site.drain()\n"
+            )
+        }
+    )
+    assert graph.edges["app:Svc.stop"] == ["app:Site.drain"]
+
+
+def test_local_variable_from_constructor():
+    graph = build(
+        {
+            "app": (
+                "class Probe:\n"
+                "    def fire(self):\n"
+                "        pass\n"
+                "def run():\n"
+                "    p = Probe()\n"
+                "    p.fire()\n"
+            )
+        }
+    )
+    # constructor edge + method edge
+    assert graph.edges["app:run"] == ["app:Probe.fire"]
+
+
+def test_nested_def_gets_synthetic_edge():
+    graph = build(
+        {
+            "app": (
+                "def outer():\n"
+                "    def inner():\n"
+                "        pass\n"
+                "    return inner\n"
+            )
+        }
+    )
+    assert "app:outer.inner" in graph.edges["app:outer"]
+
+
+# ----------------------------------------------------------------------
+# Effects: direct detection + transitive closure
+# ----------------------------------------------------------------------
+
+def test_direct_effects_detected():
+    _graph, effects = effects_of(
+        {
+            "app": (
+                "import os\n"
+                "import random\n"
+                "import subprocess\n"
+                "import time\n"
+                "def clocky():\n"
+                "    return time.time()\n"
+                "def drawy():\n"
+                "    return random.random()\n"
+                "def blocky(fd):\n"
+                "    os.fsync(fd)\n"
+                "def spawny(argv):\n"
+                "    subprocess.Popen(argv)\n"
+                "def waity(argv):\n"
+                "    proc = subprocess.Popen(argv)\n"
+                "    proc.wait()\n"
+                "def journaly(journal):\n"
+                "    journal.intent(0.0, 'accept')\n"
+            )
+        }
+    )
+    assert WALL_CLOCK in effects.direct["app:clocky"]
+    assert RNG in effects.direct["app:drawy"]
+    assert BLOCKING_IO in effects.direct["app:blocky"]
+    assert SPAWN in effects.direct["app:spawny"]
+    # the popen-local .wait() is rewritten to subprocess.Popen.wait
+    assert BLOCKING_IO in effects.direct["app:waity"]
+    assert JOURNAL_APPEND in effects.direct["app:journaly"]
+
+
+def test_shared_mutation_detected():
+    _graph, effects = effects_of(
+        {"app": "class A:\n    def bump(self):\n        self.n += 1\n"}
+    )
+    assert SHARED_MUTATION in effects.direct["app:A.bump"]
+
+
+def test_effects_propagate_transitively_across_modules():
+    _graph, effects = effects_of(
+        {
+            "pkg.leaf": "import time\n\ndef stamp():\n    return time.time()\n",
+            "pkg.mid": "from pkg.leaf import stamp\n\ndef hop():\n    return stamp()\n",
+            "app": "from pkg.mid import hop\n\ndef top():\n    return hop()\n",
+        }
+    )
+    assert WALL_CLOCK not in effects.direct["app:top"]
+    assert WALL_CLOCK in effects.closure["app:top"]
+    chain = effects.chain("app:top", WALL_CLOCK)
+    assert chain == "top -> hop -> stamp -> time.time()"
+
+
+def test_cycle_terminates_and_propagates():
+    _graph, effects = effects_of(
+        {
+            "a": (
+                "from b import g\n"
+                "def f(n):\n"
+                "    return g(n)\n"
+            ),
+            "b": (
+                "import time\n"
+                "from a import f\n"
+                "def g(n):\n"
+                "    time.time()\n"
+                "    return f(n - 1)\n"
+            ),
+        }
+    )
+    assert WALL_CLOCK in effects.closure["a:f"]
+    assert WALL_CLOCK in effects.closure["b:g"]
+
+
+def test_nested_def_effects_surface_in_encloser():
+    _graph, effects = effects_of(
+        {
+            "app": (
+                "import os\n"
+                "def outer(fd):\n"
+                "    def inner():\n"
+                "        os.fsync(fd)\n"
+                "    return inner\n"
+            )
+        }
+    )
+    assert BLOCKING_IO not in effects.direct["app:outer"]
+    assert BLOCKING_IO in effects.closure["app:outer"]
+
+
+def test_lambda_body_counts_as_direct():
+    _graph, effects = effects_of(
+        {
+            "app": (
+                "import time\n"
+                "def outer():\n"
+                "    return sorted([], key=lambda x: time.time())\n"
+            )
+        }
+    )
+    assert WALL_CLOCK in effects.direct["app:outer"]
+
+
+def test_streamwriter_write_pseudo_qualified():
+    graph = build(
+        {
+            "app": (
+                "import asyncio\n"
+                "def respond(writer: asyncio.StreamWriter, payload):\n"
+                "    writer.write(payload)\n"
+            )
+        }
+    )
+    (record,) = graph.calls["app:respond"]
+    assert record.qualified == "asyncio.StreamWriter.write"
+
+
+def test_determinism_same_input_same_graph():
+    files = {
+        "pkg.leaf": "import time\n\ndef stamp():\n    return time.time()\n",
+        "app": "from pkg.leaf import stamp\n\ndef top():\n    return stamp()\n",
+    }
+    g1, g2 = build(files), build(files)
+    assert sorted(g1.functions) == sorted(g2.functions)
+    assert {f: g1.edges[f] for f in g1.edges} == {f: g2.edges[f] for f in g2.edges}

@@ -1,0 +1,94 @@
+"""SARIF output: pinned schema shape and the committed golden.
+
+The golden file (``golden/fixtures.sarif``) is the byte-for-byte SARIF
+render of the fixture corpus; CI ``cmp``s against it, and this suite
+does the same in-process plus via the CLI so a renderer drift is caught
+before the golden goes stale.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis.static.diagnostics import RULES
+from repro.analysis.static.engine import analyze_paths
+from repro.analysis.static.sarif import SARIF_SCHEMA, SARIF_VERSION, render_sarif
+
+HERE = Path(__file__).resolve().parent
+REPO_ROOT = HERE.parents[1]
+GOLDEN = HERE / "golden" / "fixtures.sarif"
+FIXTURES_REL = "tests/analysis/fixtures"
+
+
+def fixture_run():
+    return analyze_paths([FIXTURES_REL])
+
+
+# ----------------------------------------------------------------------
+# Pinned schema: SARIF 2.1.0 structure
+# ----------------------------------------------------------------------
+
+def test_sarif_schema_and_version_pinned():
+    assert SARIF_VERSION == "2.1.0"
+    assert SARIF_SCHEMA == "https://json.schemastore.org/sarif-2.1.0.json"
+    doc = json.loads(render_sarif(fixture_run()))
+    assert doc["$schema"] == SARIF_SCHEMA
+    assert doc["version"] == SARIF_VERSION
+
+
+def test_sarif_structure(monkeypatch):
+    monkeypatch.chdir(REPO_ROOT)
+    doc = json.loads(render_sarif(fixture_run()))
+    (run,) = doc["runs"]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "repro-lint"
+    rule_ids = [rule["id"] for rule in driver["rules"]]
+    # full catalog always present, in catalog order
+    assert rule_ids[: len(RULES)] == list(RULES)
+    assert run["results"], "fixture corpus must produce findings"
+    for result in run["results"]:
+        assert result["level"] == "error"
+        assert result["ruleId"] in rule_ids
+        assert result["message"]["text"]
+        (loc,) = result["locations"]
+        region = loc["physicalLocation"]["region"]
+        assert region["startLine"] >= 1
+        assert region["startColumn"] >= 1  # 1-based, unlike our 0-based cols
+        uri = loc["physicalLocation"]["artifactLocation"]["uri"]
+        assert "\\" not in uri
+
+
+def test_sarif_rule_descriptors_carry_catalog_text():
+    doc = json.loads(render_sarif(fixture_run()))
+    descriptors = {r["id"]: r for r in doc["runs"][0]["tool"]["driver"]["rules"]}
+    for code, rule in RULES.items():
+        assert descriptors[code]["name"] == rule.name
+        assert descriptors[code]["shortDescription"]["text"] == rule.summary
+        assert descriptors[code]["fullDescription"]["text"] == rule.rationale
+
+
+def test_sarif_render_is_deterministic():
+    assert render_sarif(fixture_run()) == render_sarif(fixture_run())
+
+
+# ----------------------------------------------------------------------
+# The committed golden
+# ----------------------------------------------------------------------
+
+def test_golden_matches_in_process_render(monkeypatch):
+    monkeypatch.chdir(REPO_ROOT)
+    assert render_sarif(fixture_run()) == GOLDEN.read_text()
+
+
+def test_golden_matches_cli_bytes():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis.static.report", FIXTURES_REL,
+         "--format", "sarif"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+    )
+    assert proc.returncode == 1  # findings present
+    assert proc.stdout == GOLDEN.read_bytes()

@@ -207,3 +207,36 @@ def test_two_sites_share_load_and_status_reports_both():
 
 def test_strategy_registry_names():
     assert set(STRATEGIES) == {"best-yield", "best-surplus", "earliest"}
+
+
+def test_stop_is_idempotent_and_safe_concurrently():
+    service = LiveService(_config())
+
+    async def scenario():
+        await service.start()
+        # two concurrent stops: the first consumes the dispatch task, the
+        # second must see _loop_task already detached (not cancel/await a
+        # task mid-consumption) — then a third stop on the stopped service
+        await asyncio.gather(service.stop(), service.stop())
+        await service.stop()
+        return service._loop_task
+
+    assert asyncio.run(scenario()) is None
+
+
+def test_start_wires_journal_fsync_offload(tmp_path):
+    from repro.obs.flight import FlightRecorder, JournalSink
+
+    sink = JournalSink(str(tmp_path / "j.jsonl"), fsync="interval")
+    flight = FlightRecorder(sink=sink, clock_domain="wall")
+    service = LiveService(_config(), flight=flight)
+
+    async def scenario():
+        assert sink.offload is None  # asyncio-free until the loop exists
+        await service.start()
+        assert sink.offload is not None
+        await service.drain()
+        await service.stop()
+
+    asyncio.run(scenario())
+    flight.close()

@@ -110,3 +110,61 @@ def test_append_to_a_missing_file_starts_fresh(tmp_path):
     with FlightRecorder(sink=sink, clock_domain="wall") as flight:
         flight.intent(1.0, "accept", bid_id=1)
     assert len(read_recording(path).events) == 1
+
+
+# ----------------------------------------------------------------------
+# Offloaded interval fsync (the live service's event-loop protection)
+# ----------------------------------------------------------------------
+
+def test_interval_syncs_route_through_offload(tmp_path):
+    submitted = []
+    sink = JournalSink(str(tmp_path / "j.jsonl"), fsync="interval")
+    sink.set_offload(submitted.append)
+    for _ in range(FSYNC_INTERVAL_RECORDS):
+        sink.write_line("{}")
+    # exactly one submission per full interval; counters advance at
+    # submission so cadence accounting matches the synchronous path
+    assert len(submitted) == 1
+    assert sink.syncs == 1
+    for _ in range(FSYNC_INTERVAL_RECORDS):
+        sink.write_line("{}")
+    assert len(submitted) == 2
+    submitted[0]()  # the deferred fsync runs cleanly while the sink is open
+    sink.close()
+
+
+def test_offload_does_not_touch_always_policy(tmp_path):
+    submitted = []
+    sink = JournalSink(str(tmp_path / "j.jsonl"), fsync="always")
+    sink.set_offload(submitted.append)
+    for _ in range(FSYNC_INTERVAL_RECORDS + 1):
+        sink.write_line("{}")
+    sink.close()
+    # "always" is the operator's write-ahead ordering: never weakened
+    assert submitted == []
+    assert sink.syncs == FSYNC_INTERVAL_RECORDS + 1
+
+
+def test_offloaded_sync_after_close_is_harmless(tmp_path):
+    submitted = []
+    sink = JournalSink(str(tmp_path / "j.jsonl"), fsync="interval")
+    sink.set_offload(submitted.append)
+    for _ in range(FSYNC_INTERVAL_RECORDS):
+        sink.write_line("{}")
+    sink.close()
+    # the pool drains the queued sync after close has fsynced and closed
+    # the fd; the stale-fd sync must swallow the OSError, not raise
+    (pending,) = submitted
+    pending()
+
+
+def test_clearing_offload_restores_synchronous_syncs(tmp_path):
+    submitted = []
+    sink = JournalSink(str(tmp_path / "j.jsonl"), fsync="interval")
+    sink.set_offload(submitted.append)
+    sink.set_offload(None)
+    for _ in range(FSYNC_INTERVAL_RECORDS):
+        sink.write_line("{}")
+    assert submitted == []
+    assert sink.syncs == 1
+    sink.close()
